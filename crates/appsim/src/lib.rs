@@ -1,0 +1,52 @@
+//! # deflate-appsim
+//!
+//! Request-level application simulators for the deflation experiments of §7.
+//!
+//! The paper's testbed runs real applications (a German-Wikipedia LAMP
+//! replica, the DeathStarBench social network, SpecJBB, kernel compilation,
+//! Memcached) behind a real HAProxy. This crate replaces them with simulation
+//! models that preserve the behaviour deflation interacts with — CPU
+//! queueing, service saturation, page-transfer floors, working-set memory
+//! pressure and weighted-round-robin load balancing:
+//!
+//! * [`queueing`] — an exact event-driven processor-sharing queue.
+//! * [`workload`] — open-loop Poisson request generators (800 req/s
+//!   Wikipedia, 500 req/s social network).
+//! * [`latency`] — response-time statistics (mean / median / p90 / p99 /
+//!   served fraction).
+//! * [`multitier`] — the Wikipedia multi-tier application (Figures 16, 17).
+//! * [`microservice`] — the 30-service social network (Figure 18).
+//! * [`apps`] — SpecJBB / Kcompile / Memcached profiles (Figure 3) and the
+//!   SpecJBB memory-deflation experiment (Figure 14).
+//! * [`loadbalancer`] — vanilla vs deflation-aware weighted round robin
+//!   (Figure 19).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apps;
+pub mod latency;
+pub mod loadbalancer;
+pub mod microservice;
+pub mod multitier;
+pub mod queueing;
+pub mod workload;
+
+pub use apps::{ApplicationProfile, SpecJbbMemoryExperiment};
+pub use latency::{LatencyStats, RequestOutcome};
+pub use loadbalancer::{LbPolicy, SmoothWrr, WebCluster, WebClusterConfig};
+pub use microservice::{Microservice, ServiceClass, SocialNetworkApp};
+pub use multitier::{MultiTierApp, MultiTierConfig};
+pub use queueing::{Completion, PsQueue};
+pub use workload::{DemandDistribution, Request, RequestGenerator, WorkloadConfig};
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::apps::{ApplicationProfile, SpecJbbMemoryExperiment};
+    pub use crate::latency::{LatencyStats, RequestOutcome};
+    pub use crate::loadbalancer::{LbPolicy, SmoothWrr, WebCluster, WebClusterConfig};
+    pub use crate::microservice::{Microservice, ServiceClass, SocialNetworkApp};
+    pub use crate::multitier::{MultiTierApp, MultiTierConfig};
+    pub use crate::queueing::{Completion, PsQueue};
+    pub use crate::workload::{DemandDistribution, Request, RequestGenerator, WorkloadConfig};
+}

@@ -1,0 +1,328 @@
+//! Deflation-aware web load balancing (§6 "Deflation-aware Web Cluster",
+//! §7.3, Figure 19).
+//!
+//! The paper modifies HAProxy's Weighted Round Robin algorithm so that each
+//! backend's weight tracks its current deflation level: a replica deflated to
+//! 20 % of its vCPUs receives roughly 20 % of the requests it would otherwise
+//! get, shifting load towards undeflated replicas and cutting tail latency by
+//! 15–40 % at high deflation levels.
+//!
+//! This module implements:
+//!
+//! * [`SmoothWrr`] — the smooth weighted-round-robin scheduler HAProxy/nginx
+//!   use (deterministic, preserves proportions over short windows);
+//! * [`LbPolicy`] — vanilla (static equal weights) vs deflation-aware
+//!   (weights proportional to each replica's effective capacity);
+//! * [`WebCluster`] — a cluster of Wikipedia-style replicas, each modelled as
+//!   a processor-sharing queue, driven by one open-loop workload through the
+//!   load balancer.
+
+use crate::latency::LatencyStats;
+use crate::queueing::PsQueue;
+use crate::workload::{RequestGenerator, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+
+/// Smooth weighted round robin (the algorithm used by nginx and HAProxy).
+///
+/// Each backend has an effective weight; on every pick the scheduler adds the
+/// weight to a running counter, picks the backend with the largest counter
+/// and subtracts the total weight from it. The resulting sequence interleaves
+/// backends in proportion to their weights without bursts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmoothWrr {
+    weights: Vec<f64>,
+    current: Vec<f64>,
+}
+
+impl SmoothWrr {
+    /// Create a scheduler with the given weights (non-positive weights are
+    /// treated as a tiny epsilon so a backend is never fully starved unless
+    /// every weight is zero).
+    pub fn new(weights: Vec<f64>) -> Self {
+        let current = vec![0.0; weights.len()];
+        SmoothWrr { weights, current }
+    }
+
+    /// Update the weights in place (e.g. after a deflation notification).
+    pub fn set_weights(&mut self, weights: Vec<f64>) {
+        assert_eq!(weights.len(), self.current.len(), "backend count changed");
+        self.weights = weights;
+    }
+
+    /// Current weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Pick the next backend index. Returns `None` when there are no
+    /// backends or all weights are zero.
+    pub fn next(&mut self) -> Option<usize> {
+        if self.weights.is_empty() {
+            return None;
+        }
+        let total: f64 = self.weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut best = 0usize;
+        for i in 0..self.weights.len() {
+            self.current[i] += self.weights[i].max(0.0);
+            if self.current[i] > self.current[best] {
+                best = i;
+            }
+        }
+        self.current[best] -= total;
+        Some(best)
+    }
+}
+
+/// Load-balancing policy for the web cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LbPolicy {
+    /// Vanilla HAProxy: equal static weights regardless of deflation.
+    Vanilla,
+    /// Deflation-aware: weights proportional to each replica's *effective*
+    /// core count, updated from deflation notifications.
+    DeflationAware,
+}
+
+impl LbPolicy {
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LbPolicy::Vanilla => "vanilla",
+            LbPolicy::DeflationAware => "deflation-aware",
+        }
+    }
+
+    /// The weight vector this policy assigns given the replicas' effective
+    /// core counts.
+    pub fn weights(&self, effective_cores: &[f64]) -> Vec<f64> {
+        match self {
+            LbPolicy::Vanilla => vec![1.0; effective_cores.len()],
+            LbPolicy::DeflationAware => effective_cores.to_vec(),
+        }
+    }
+}
+
+/// Configuration of the replicated web-cluster experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebClusterConfig {
+    /// Undeflated core count of each replica.
+    pub replica_cores: Vec<f64>,
+    /// Whether each replica is deflatable (the paper deflates two of three).
+    pub deflatable: Vec<bool>,
+    /// Open-loop workload offered to the cluster as a whole.
+    pub workload: WorkloadConfig,
+    /// Deflation-independent response-time component per core-second of
+    /// demand (page transfer), as in the multi-tier model.
+    pub transfer_factor: f64,
+    /// Request timeout in seconds.
+    pub timeout_secs: f64,
+}
+
+impl WebClusterConfig {
+    /// The paper's Figure 19 setup: three 10-core Wikipedia replicas, two of
+    /// them deflatable, 200 req/s.
+    pub fn figure19(duration_secs: f64, seed: u64) -> Self {
+        WebClusterConfig {
+            replica_cores: vec![10.0, 10.0, 10.0],
+            deflatable: vec![true, true, false],
+            workload: WorkloadConfig {
+                rate_per_sec: 200.0,
+                // Heavier pages than the single-VM Wikipedia experiment: the
+                // replicas run at ~45 % CPU utilisation undeflated (the
+                // paper's Figure 19 baseline sits around a 1 s mean response
+                // time), so deflating two of the three replicas past ~40 %
+                // visibly overloads them under deflation-unaware balancing.
+                demand: crate::workload::DemandDistribution::Uniform {
+                    lo: 0.033,
+                    hi: 0.100,
+                },
+                duration_secs,
+                seed,
+            },
+            transfer_factor: 10.0,
+            timeout_secs: 15.0,
+        }
+    }
+
+    /// Effective core count of each replica when the deflatable ones are
+    /// deflated by `deflation`.
+    pub fn effective_cores(&self, deflation: f64) -> Vec<f64> {
+        self.replica_cores
+            .iter()
+            .zip(self.deflatable.iter())
+            .map(|(&cores, &deflatable)| {
+                if deflatable {
+                    (cores * (1.0 - deflation.clamp(0.0, 1.0))).max(0.05)
+                } else {
+                    cores
+                }
+            })
+            .collect()
+    }
+}
+
+/// The replicated web cluster simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WebCluster;
+
+impl WebCluster {
+    /// Run the cluster with the deflatable replicas deflated by `deflation`,
+    /// balancing requests with the given policy.
+    pub fn run(config: &WebClusterConfig, policy: LbPolicy, deflation: f64) -> LatencyStats {
+        let effective = config.effective_cores(deflation);
+        let mut queues: Vec<PsQueue> = effective
+            .iter()
+            .map(|&cores| PsQueue::new(cores.max(1e-6)))
+            .collect();
+        let mut wrr = SmoothWrr::new(policy.weights(&effective));
+        let mut stats = LatencyStats::new();
+        let mut demands: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+
+        let finish = |stats: &mut LatencyStats,
+                          demands: &mut std::collections::HashMap<u64, f64>,
+                          completion: crate::queueing::Completion| {
+            let demand = demands.remove(&completion.id).unwrap_or(completion.demand);
+            let response = completion.response_time() + demand * config.transfer_factor;
+            if response <= config.timeout_secs {
+                stats.record_served(response);
+            } else {
+                stats.record_dropped();
+            }
+        };
+
+        for request in RequestGenerator::new(config.workload) {
+            let Some(backend) = wrr.next() else { break };
+            demands.insert(request.id, request.demand);
+            for done in queues[backend].arrive(request.arrival, request.id, request.demand) {
+                finish(&mut stats, &mut demands, done);
+            }
+        }
+        let deadline = config.workload.duration_secs + config.timeout_secs;
+        for queue in &mut queues {
+            let (completions, unfinished) = queue.drain(deadline);
+            for done in completions {
+                finish(&mut stats, &mut demands, done);
+            }
+            for _ in unfinished {
+                stats.record_dropped();
+            }
+        }
+        stats
+    }
+
+    /// Sweep deflation levels for both load-balancing policies, producing the
+    /// `(deflation, vanilla, deflation-aware)` stats rows of Figure 19.
+    pub fn policy_comparison(
+        config: &WebClusterConfig,
+        levels: &[f64],
+    ) -> Vec<(f64, LatencyStats, LatencyStats)> {
+        levels
+            .iter()
+            .map(|&d| {
+                (
+                    d,
+                    Self::run(config, LbPolicy::Vanilla, d),
+                    Self::run(config, LbPolicy::DeflationAware, d),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_wrr_respects_proportions() {
+        let mut wrr = SmoothWrr::new(vec![1.0, 3.0]);
+        let mut counts = [0usize; 2];
+        for _ in 0..400 {
+            counts[wrr.next().unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 100);
+        assert_eq!(counts[1], 300);
+    }
+
+    #[test]
+    fn smooth_wrr_interleaves_rather_than_bursts() {
+        let mut wrr = SmoothWrr::new(vec![1.0, 1.0]);
+        let picks: Vec<usize> = (0..6).map(|_| wrr.next().unwrap()).collect();
+        // Strict alternation for equal weights.
+        assert_eq!(picks[0] != picks[1], true);
+        assert_eq!(picks[1] != picks[2], true);
+    }
+
+    #[test]
+    fn smooth_wrr_edge_cases() {
+        assert_eq!(SmoothWrr::new(vec![]).next(), None);
+        assert_eq!(SmoothWrr::new(vec![0.0, 0.0]).next(), None);
+        let mut wrr = SmoothWrr::new(vec![1.0, 0.0]);
+        for _ in 0..10 {
+            assert_eq!(wrr.next(), Some(0));
+        }
+        wrr.set_weights(vec![0.0, 1.0]);
+        assert_eq!(wrr.next(), Some(1));
+    }
+
+    #[test]
+    fn policy_weights() {
+        let cores = [2.0, 2.0, 10.0];
+        assert_eq!(LbPolicy::Vanilla.weights(&cores), vec![1.0, 1.0, 1.0]);
+        assert_eq!(LbPolicy::DeflationAware.weights(&cores), vec![2.0, 2.0, 10.0]);
+        assert_eq!(LbPolicy::Vanilla.name(), "vanilla");
+        assert_eq!(LbPolicy::DeflationAware.name(), "deflation-aware");
+    }
+
+    #[test]
+    fn effective_cores_only_deflates_deflatable_replicas() {
+        let cfg = WebClusterConfig::figure19(10.0, 1);
+        let cores = cfg.effective_cores(0.8);
+        assert!((cores[0] - 2.0).abs() < 1e-9);
+        assert!((cores[1] - 2.0).abs() < 1e-9);
+        assert_eq!(cores[2], 10.0);
+    }
+
+    fn quick_config() -> WebClusterConfig {
+        let mut cfg = WebClusterConfig::figure19(30.0, 5);
+        cfg.workload.duration_secs = 30.0;
+        cfg
+    }
+
+    #[test]
+    fn undeflated_cluster_has_low_latency_for_both_policies() {
+        let cfg = quick_config();
+        let vanilla = WebCluster::run(&cfg, LbPolicy::Vanilla, 0.0);
+        let aware = WebCluster::run(&cfg, LbPolicy::DeflationAware, 0.0);
+        assert!(vanilla.served_fraction() > 0.999);
+        assert!(aware.served_fraction() > 0.999);
+        assert!((vanilla.mean() - aware.mean()).abs() < 0.1);
+        assert!(vanilla.mean() < 1.0);
+    }
+
+    #[test]
+    fn deflation_aware_lb_cuts_tail_latency_at_high_deflation() {
+        let cfg = quick_config();
+        let rows = WebCluster::policy_comparison(&cfg, &[0.6, 0.8]);
+        for (d, vanilla, aware) in rows {
+            assert!(
+                aware.p90() < vanilla.p90(),
+                "deflation-aware p90 ({}) should beat vanilla ({}) at {d}",
+                aware.p90(),
+                vanilla.p90()
+            );
+            assert!(aware.mean() <= vanilla.mean() + 0.05);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = quick_config();
+        let a = WebCluster::run(&cfg, LbPolicy::DeflationAware, 0.5);
+        let b = WebCluster::run(&cfg, LbPolicy::DeflationAware, 0.5);
+        assert_eq!(a.mean(), b.mean());
+    }
+}

@@ -1,0 +1,351 @@
+//! Microservice-based social-network application (DeathStarBench, §7.1.1 /
+//! §7.2, Figure 18).
+//!
+//! The paper evaluates the DeathStarBench social-network application: 30
+//! microservices (3 frontend, 15 logic, 12 backend) running in Docker
+//! containers, each capped at 2 CPU cores with a 0.05-core minimum. The
+//! deflation experiment deflates 22 of the 30 services (all frontend and
+//! logic services plus the four memcached backends) and drives the
+//! application at 500 req/s.
+//!
+//! The model here is a service-graph queueing model: each microservice is an
+//! M/G/1-PS station with its own capacity, each request visits a fixed set of
+//! stations (1 frontend, several logic services, several backend services),
+//! and the end-to-end response time is the sum of per-visit sojourn times.
+//! Per-visit times are sampled from exponential distributions whose mean is
+//! the PS sojourn time `S / (1 − ρ)`, which reproduces the paper's
+//! observation that degradation is *abrupt*: once any deflated station's
+//! utilisation approaches 1, its sojourn time (and therefore the tail of the
+//! end-to-end distribution) explodes.
+
+use crate::latency::LatencyStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Functional class of a microservice (Figure 15's three logical tiers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// Nginx front-ends and media front-ends.
+    Frontend,
+    /// Composition / business-logic services.
+    Logic,
+    /// Memcached caches (deflatable backends).
+    Cache,
+    /// MongoDB / storage services (never deflated in the experiment).
+    Storage,
+}
+
+/// One microservice in the application graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Microservice {
+    /// Service name (as in the DeathStarBench social-network graph).
+    pub name: String,
+    /// Functional class.
+    pub class: ServiceClass,
+    /// Maximum CPU allocation in cores (the paper uses 2.0).
+    pub max_cores: f64,
+    /// Minimum CPU allocation in cores (the paper uses 0.05).
+    pub min_cores: f64,
+    /// Mean CPU demand per visit, in core-seconds.
+    pub demand_per_visit: f64,
+    /// Mean number of visits this service receives per end-to-end request.
+    pub visits_per_request: f64,
+    /// Whether this service is in the deflated set (22 of 30).
+    pub deflatable: bool,
+}
+
+impl Microservice {
+    /// Effective capacity in cores at a given deflation fraction.
+    pub fn capacity_at(&self, deflation: f64) -> f64 {
+        if self.deflatable {
+            (self.max_cores * (1.0 - deflation.clamp(0.0, 1.0))).max(self.min_cores)
+        } else {
+            self.max_cores
+        }
+    }
+
+    /// Utilisation at a given request rate and deflation fraction.
+    pub fn utilization_at(&self, rate_per_sec: f64, deflation: f64) -> f64 {
+        let lambda = rate_per_sec * self.visits_per_request;
+        lambda * self.demand_per_visit / self.capacity_at(deflation)
+    }
+
+    /// Mean per-visit sojourn time (PS approximation), capped when the
+    /// station is saturated. Utilisation is clipped just below 1.0 so a
+    /// saturated station produces very large but finite sojourn times (the
+    /// observable behaviour of an overloaded service behind connection
+    /// limits), with `saturation_cap` as the hard ceiling.
+    pub fn sojourn_time(&self, rate_per_sec: f64, deflation: f64, saturation_cap: f64) -> f64 {
+        let service_time = self.demand_per_visit / self.capacity_at(deflation);
+        let rho = self.utilization_at(rate_per_sec, deflation).min(0.99);
+        (service_time / (1.0 - rho)).min(saturation_cap)
+    }
+}
+
+/// The full social-network application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocialNetworkApp {
+    services: Vec<Microservice>,
+    /// Request rate driving the application (500 req/s in the paper).
+    pub rate_per_sec: f64,
+    /// Cap on any single station's sojourn time, seconds (models client
+    /// timeouts / connection limits when a station saturates). Requests whose
+    /// end-to-end time exceeds this value are counted as dropped.
+    pub saturation_cap_secs: f64,
+    /// Fixed per-visit network / serialisation latency in seconds, which
+    /// deflation does not affect (container-to-container RPC overhead).
+    pub network_latency_per_visit: f64,
+}
+
+impl SocialNetworkApp {
+    /// Build the paper's 30-service social-network graph: 3 frontend, 15
+    /// logic and 12 backend services (4 memcached + 8 storage), with 22 of
+    /// them deflatable.
+    pub fn paper_configuration(rate_per_sec: f64) -> Self {
+        let mut services = Vec::with_capacity(30);
+        let frontends = ["nginx-web", "nginx-media", "frontend-api"];
+        for name in frontends {
+            services.push(Microservice {
+                name: name.to_string(),
+                class: ServiceClass::Frontend,
+                max_cores: 2.0,
+                min_cores: 0.05,
+                // Each request passes through exactly one of the three
+                // front-ends (visits 1/3 each).
+                demand_per_visit: 0.0042,
+                visits_per_request: 1.0 / 3.0,
+                deflatable: true,
+            });
+        }
+        let logic_names = [
+            "compose-post",
+            "home-timeline",
+            "user-timeline",
+            "social-graph",
+            "post-storage-logic",
+            "user-service",
+            "url-shorten",
+            "user-mention",
+            "text-service",
+            "media-service",
+            "unique-id",
+            "write-home-timeline",
+            "read-post",
+            "follow-service",
+            "search-service",
+        ];
+        for name in logic_names {
+            services.push(Microservice {
+                name: name.to_string(),
+                class: ServiceClass::Logic,
+                max_cores: 2.0,
+                min_cores: 0.05,
+                // Each request touches 5 of the 15 logic services on
+                // average (visits 1/3 each).
+                demand_per_visit: 0.0042,
+                visits_per_request: 1.0 / 3.0,
+                deflatable: true,
+            });
+        }
+        for i in 0..4 {
+            services.push(Microservice {
+                name: format!("memcached-{i}"),
+                class: ServiceClass::Cache,
+                max_cores: 2.0,
+                min_cores: 0.05,
+                // Every request performs one lookup per cache on average.
+                demand_per_visit: 0.0011,
+                visits_per_request: 1.0,
+                deflatable: true,
+            });
+        }
+        for i in 0..8 {
+            services.push(Microservice {
+                name: format!("mongodb-{i}"),
+                class: ServiceClass::Storage,
+                max_cores: 2.0,
+                min_cores: 0.05,
+                // Two storage reads/writes per request spread over 8 shards.
+                demand_per_visit: 0.0030,
+                visits_per_request: 2.0 / 8.0,
+                deflatable: false,
+            });
+        }
+        debug_assert_eq!(services.len(), 30);
+        SocialNetworkApp {
+            services,
+            rate_per_sec,
+            saturation_cap_secs: 60.0,
+            network_latency_per_visit: 0.0016,
+        }
+    }
+
+    /// The services in the graph.
+    pub fn services(&self) -> &[Microservice] {
+        &self.services
+    }
+
+    /// Number of deflatable services (22 in the paper configuration).
+    pub fn deflatable_count(&self) -> usize {
+        self.services.iter().filter(|s| s.deflatable).count()
+    }
+
+    /// The highest station utilisation at a given deflation level — the
+    /// quantity that determines where the response-time knee is.
+    pub fn bottleneck_utilization(&self, deflation: f64) -> f64 {
+        self.services
+            .iter()
+            .map(|s| s.utilization_at(self.rate_per_sec, deflation))
+            .fold(0.0, f64::max)
+    }
+
+    /// Simulate `num_requests` end-to-end requests at the given deflation
+    /// level and return their latency distribution.
+    ///
+    /// Per-visit times are sampled exponentially around the PS mean sojourn
+    /// time of each station, and a request's response time is the sum over
+    /// its visits (the call chain is predominantly sequential in the
+    /// social-network benchmark: nginx → logic fan-out → caches/storage).
+    pub fn run(&self, deflation: f64, num_requests: usize, seed: u64) -> LatencyStats {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = LatencyStats::new();
+        // Pre-compute mean sojourn times.
+        let sojourns: Vec<(f64, f64)> = self
+            .services
+            .iter()
+            .map(|s| {
+                (
+                    s.visits_per_request,
+                    s.sojourn_time(self.rate_per_sec, deflation, self.saturation_cap_secs),
+                )
+            })
+            .collect();
+        for _ in 0..num_requests {
+            let mut total = 0.0;
+            for &(visits, mean_sojourn) in &sojourns {
+                // The number of visits per request is fractional on average;
+                // sample it as a Bernoulli/Poisson-like count.
+                let whole = visits.floor() as usize;
+                let frac = visits - whole as f64;
+                let count = whole + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0)));
+                for _ in 0..count {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    total += -u.ln() * mean_sojourn + self.network_latency_per_visit;
+                }
+            }
+            if total > self.saturation_cap_secs {
+                stats.record_dropped();
+            } else {
+                stats.record_served(total);
+            }
+        }
+        stats
+    }
+
+    /// Sweep several deflation levels (the x-axis of Figure 18).
+    pub fn deflation_sweep(
+        &self,
+        levels: &[f64],
+        num_requests: usize,
+        seed: u64,
+    ) -> Vec<(f64, LatencyStats)> {
+        levels
+            .iter()
+            .map(|&d| (d, self.run(d, num_requests, seed.wrapping_add((d * 100.0) as u64))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_matches_described_topology() {
+        let app = SocialNetworkApp::paper_configuration(500.0);
+        assert_eq!(app.services().len(), 30);
+        assert_eq!(app.deflatable_count(), 22);
+        let frontends = app
+            .services()
+            .iter()
+            .filter(|s| s.class == ServiceClass::Frontend)
+            .count();
+        let logic = app
+            .services()
+            .iter()
+            .filter(|s| s.class == ServiceClass::Logic)
+            .count();
+        let backend = app
+            .services()
+            .iter()
+            .filter(|s| matches!(s.class, ServiceClass::Cache | ServiceClass::Storage))
+            .count();
+        assert_eq!((frontends, logic, backend), (3, 15, 12));
+        // Storage services are not deflated.
+        assert!(app
+            .services()
+            .iter()
+            .filter(|s| s.class == ServiceClass::Storage)
+            .all(|s| !s.deflatable));
+    }
+
+    #[test]
+    fn capacity_respects_min_and_max() {
+        let app = SocialNetworkApp::paper_configuration(500.0);
+        let svc = &app.services()[0];
+        assert_eq!(svc.capacity_at(0.0), 2.0);
+        assert!((svc.capacity_at(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(svc.capacity_at(1.0), 0.05);
+        let storage = app
+            .services()
+            .iter()
+            .find(|s| s.class == ServiceClass::Storage)
+            .unwrap();
+        assert_eq!(storage.capacity_at(0.9), 2.0);
+    }
+
+    #[test]
+    fn undeflated_stations_are_unsaturated() {
+        let app = SocialNetworkApp::paper_configuration(500.0);
+        let rho = app.bottleneck_utilization(0.0);
+        assert!(rho < 0.6, "undeflated bottleneck utilisation {rho}");
+        // By 65 % deflation some station should be near or past saturation,
+        // which is what produces the abrupt degradation of Figure 18.
+        assert!(app.bottleneck_utilization(0.68) > 0.9);
+    }
+
+    #[test]
+    fn response_times_flat_until_50_percent_then_abrupt() {
+        let app = SocialNetworkApp::paper_configuration(500.0);
+        let sweep = app.deflation_sweep(&[0.0, 0.3, 0.5, 0.65], 4000, 7);
+        let medians: Vec<f64> = sweep.iter().map(|(_, s)| s.median()).collect();
+        // ≤ 50 % deflation: median within ~2.5× of baseline.
+        assert!(medians[1] < 2.5 * medians[0], "30%: {medians:?}");
+        assert!(medians[2] < 3.5 * medians[0], "50%: {medians:?}");
+        // 65 %: at least an order of magnitude worse than baseline.
+        assert!(
+            medians[3] > 8.0 * medians[0],
+            "65% should degrade abruptly: {medians:?}"
+        );
+        // Tail grows faster than the median.
+        let (_, at65) = &sweep[3];
+        assert!(at65.p99() >= at65.median());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let app = SocialNetworkApp::paper_configuration(500.0);
+        let a = app.run(0.5, 500, 3);
+        let b = app.run(0.5, 500, 3);
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.served(), b.served());
+    }
+
+    #[test]
+    fn extreme_deflation_drops_requests() {
+        let app = SocialNetworkApp::paper_configuration(500.0);
+        let stats = app.run(0.97, 2000, 11);
+        assert!(stats.served_fraction() < 1.0);
+    }
+}

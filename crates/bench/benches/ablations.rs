@@ -1,0 +1,25 @@
+//! Criterion benches for the ablation studies: placement heuristics,
+//! cluster partitioning and deflation mechanisms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deflate_bench::ablation;
+use deflate_bench::Scale;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("placement_heuristics", |b| {
+        b.iter(|| black_box(ablation::placement_ablation(Scale::Quick)))
+    });
+    group.bench_function("cluster_partitions", |b| {
+        b.iter(|| black_box(ablation::partition_ablation(Scale::Quick)))
+    });
+    group.bench_function("deflation_mechanisms", |b| {
+        b.iter(|| black_box(ablation::mechanism_ablation()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

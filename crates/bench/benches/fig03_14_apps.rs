@@ -1,0 +1,20 @@
+//! Criterion benches regenerating Figure 3 (application deflation-response
+//! curves) and Figure 14 (SpecJBB memory deflation, transparent vs hybrid).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig03(c: &mut Criterion) {
+    c.bench_function("fig03_uniform_deflation_curves", |b| {
+        b.iter(|| black_box(deflate_bench::apps_exp::fig03_series()))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("fig14_specjbb_memory_deflation", |b| {
+        b.iter(|| black_box(deflate_bench::apps_exp::fig14_series()))
+    });
+}
+
+criterion_group!(benches, bench_fig03, bench_fig14);
+criterion_main!(benches);

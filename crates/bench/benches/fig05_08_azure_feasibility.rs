@@ -1,0 +1,39 @@
+//! Criterion benches regenerating Figures 5–8: the Azure CPU-deflation
+//! feasibility analysis (overall, by class, by size, by peak utilisation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deflate_bench::feasibility::{self, LEVELS};
+use deflate_bench::Scale;
+use deflate_traces::analysis;
+use std::hint::black_box;
+
+fn bench_azure_feasibility(c: &mut Criterion) {
+    let vms = feasibility::azure_population(Scale::Quick);
+    let mut group = c.benchmark_group("azure_feasibility");
+    group.sample_size(10);
+    group.bench_function("fig05_all_vms", |b| {
+        b.iter(|| black_box(analysis::cpu_feasibility(&vms, &LEVELS)))
+    });
+    group.bench_function("fig06_by_class", |b| {
+        b.iter(|| black_box(analysis::cpu_feasibility_by_class(&vms, &LEVELS)))
+    });
+    group.bench_function("fig07_by_size", |b| {
+        b.iter(|| black_box(analysis::cpu_feasibility_by_size(&vms, &LEVELS)))
+    });
+    group.bench_function("fig08_by_peak", |b| {
+        b.iter(|| black_box(analysis::cpu_feasibility_by_peak(&vms, &LEVELS)))
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("azure_trace_generation");
+    group.sample_size(10);
+    group.bench_function("generate_600_vms", |b| {
+        b.iter(|| black_box(feasibility::azure_population(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_azure_feasibility, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benches regenerating Figures 9–12: the Alibaba memory /
+//! memory-bandwidth / disk / network feasibility analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deflate_bench::feasibility::{self, LEVELS};
+use deflate_bench::Scale;
+use deflate_traces::analysis;
+use std::hint::black_box;
+
+fn bench_alibaba_feasibility(c: &mut Criterion) {
+    let containers = feasibility::alibaba_population(Scale::Quick);
+    let mut group = c.benchmark_group("alibaba_feasibility");
+    group.sample_size(10);
+    group.bench_function("fig09_memory", |b| {
+        b.iter(|| black_box(analysis::memory_feasibility(&containers, &LEVELS)))
+    });
+    group.bench_function("fig10_memory_bandwidth", |b| {
+        b.iter(|| black_box(analysis::memory_bandwidth_usage(&containers)))
+    });
+    group.bench_function("fig11_disk", |b| {
+        b.iter(|| black_box(analysis::disk_feasibility(&containers, &LEVELS)))
+    });
+    group.bench_function("fig12_network", |b| {
+        b.iter(|| black_box(analysis::network_feasibility(&containers, &LEVELS)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alibaba_feasibility);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benches regenerating Figures 16–17: the Wikipedia multi-tier
+//! application under CPU deflation (response times and requests served).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deflate_appsim::multitier::{MultiTierApp, MultiTierConfig};
+use deflate_bench::Scale;
+use std::hint::black_box;
+
+fn bench_wikipedia(c: &mut Criterion) {
+    let scale = Scale::Quick;
+    let config = MultiTierConfig::wikipedia(scale.web_duration_secs(), scale.seed());
+    let mut group = c.benchmark_group("fig16_17_wikipedia");
+    group.sample_size(10);
+    for deflation in [0.0, 0.5, 0.8] {
+        group.bench_with_input(
+            BenchmarkId::new("run_at_deflation", format!("{:.0}%", deflation * 100.0)),
+            &deflation,
+            |b, &d| b.iter(|| black_box(MultiTierApp::run(&config, d))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wikipedia);
+criterion_main!(benches);

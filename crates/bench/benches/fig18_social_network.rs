@@ -1,0 +1,23 @@
+//! Criterion bench regenerating Figure 18: the 30-microservice social
+//! network under deflation of its 22 deflatable services.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deflate_appsim::microservice::SocialNetworkApp;
+use std::hint::black_box;
+
+fn bench_social_network(c: &mut Criterion) {
+    let app = SocialNetworkApp::paper_configuration(500.0);
+    let mut group = c.benchmark_group("fig18_social_network");
+    group.sample_size(10);
+    for deflation in [0.0, 0.5, 0.65] {
+        group.bench_with_input(
+            BenchmarkId::new("run_at_deflation", format!("{:.0}%", deflation * 100.0)),
+            &deflation,
+            |b, &d| b.iter(|| black_box(app.run(d, 5_000, 7))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_social_network);
+criterion_main!(benches);

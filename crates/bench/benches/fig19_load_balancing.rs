@@ -1,0 +1,25 @@
+//! Criterion bench regenerating Figure 19: vanilla vs deflation-aware
+//! weighted-round-robin load balancing across three Wikipedia replicas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deflate_appsim::loadbalancer::{LbPolicy, WebCluster, WebClusterConfig};
+use deflate_bench::Scale;
+use std::hint::black_box;
+
+fn bench_load_balancing(c: &mut Criterion) {
+    let scale = Scale::Quick;
+    let config = WebClusterConfig::figure19(scale.web_duration_secs(), scale.seed());
+    let mut group = c.benchmark_group("fig19_load_balancing");
+    group.sample_size(10);
+    for policy in [LbPolicy::Vanilla, LbPolicy::DeflationAware] {
+        group.bench_with_input(
+            BenchmarkId::new("run_at_60pct_deflation", policy.name()),
+            &policy,
+            |b, &p| b.iter(|| black_box(WebCluster::run(&config, p, 0.6))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_balancing);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches regenerating Figures 20–22: the trace-driven cluster
+//! simulation (failure probability, throughput loss, revenue) at a
+//! representative 50 % overcommitment point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deflate_bench::cluster_exp::{run_policy, PolicyChoice};
+use deflate_bench::Scale;
+use deflate_core::pricing::{PricingPolicy, RateCard};
+use std::hint::black_box;
+
+fn bench_cluster_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20_22_cluster_sim");
+    group.sample_size(10);
+    for policy in [
+        PolicyChoice::Proportional,
+        PolicyChoice::Priority,
+        PolicyChoice::Deterministic,
+        PolicyChoice::Preemption,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("fig20_21_run_at_50pct_overcommit", policy.name()),
+            &policy,
+            |b, &p| b.iter(|| black_box(run_policy(Scale::Quick, p, 0.5))),
+        );
+    }
+    group.bench_function("fig22_revenue_accounting", |b| {
+        let result = run_policy(Scale::Quick, PolicyChoice::Proportional, 0.5);
+        let rates = RateCard::default();
+        b.iter(|| {
+            black_box(
+                result.deflatable_revenue_per_server(&PricingPolicy::static_default(), &rates)
+                    + result
+                        .deflatable_revenue_per_server(&PricingPolicy::PriorityBased, &rates)
+                    + result
+                        .deflatable_revenue_per_server(&PricingPolicy::AllocationBased, &rates),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_simulation);
+criterion_main!(benches);

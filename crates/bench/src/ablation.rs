@@ -1,0 +1,160 @@
+//! Ablation experiments for the design choices called out in `DESIGN.md`:
+//! the placement heuristic (cosine fitness vs classic bin-packing), cluster
+//! partitioning, and the deflation mechanism (transparent vs explicit vs
+//! hybrid).
+
+use crate::report::{f3, pct, Table};
+use crate::scale::Scale;
+use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
+use deflate_cluster::sim::ClusterSimulation;
+use deflate_cluster::spec::{paper_server_capacity, servers_for_overcommitment, MinAllocationRule};
+use deflate_core::placement::PartitionScheme;
+use deflate_core::policy::{PriorityDeflation, ProportionalDeflation};
+use deflate_core::resources::ResourceVector;
+use deflate_core::vm::{VmClass, VmId, VmSpec};
+use deflate_hypervisor::domain::{DeflationMechanism, Domain};
+use std::sync::Arc;
+
+/// Ablation A: placement heuristics at a fixed 50 % overcommitment.
+///
+/// Compares reclamation-failure probability and throughput loss for cosine
+/// fitness (the paper's choice) against first-fit, best-fit and worst-fit.
+pub fn placement_ablation(scale: Scale) -> Table {
+    let workload = crate::cluster_exp::cluster_workload(scale, MinAllocationRule::None);
+    let capacity = paper_server_capacity();
+    let servers = servers_for_overcommitment(&workload, capacity, 0.5);
+    let mut table = Table::new(
+        "Ablation: placement heuristic at 50% overcommitment",
+        &["placement", "failure probability", "throughput loss", "deflated VMs"],
+    );
+    for placement in [
+        PlacementKind::CosineFitness,
+        PlacementKind::FirstFit,
+        PlacementKind::BestFit,
+        PlacementKind::WorstFit,
+    ] {
+        let config = ClusterConfig {
+            num_servers: servers,
+            server_capacity: capacity,
+            placement,
+            partitions: PartitionScheme::None,
+            mechanism: DeflationMechanism::Transparent,
+        };
+        let mode = ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default()));
+        let result = ClusterSimulation::new(config, mode).run(&workload);
+        table.row(&[
+            placement.name().to_string(),
+            pct(result.failure_probability()),
+            pct(result.mean_throughput_loss()),
+            pct(result.deflated_vm_fraction()),
+        ]);
+    }
+    table
+}
+
+/// Ablation B: cluster partitioning (mixed vs priority pools) under the
+/// priority deflation policy at 50 % overcommitment.
+pub fn partition_ablation(scale: Scale) -> Table {
+    let workload =
+        crate::cluster_exp::cluster_workload(scale, MinAllocationRule::PriorityTimesMax);
+    let capacity = paper_server_capacity();
+    let servers = servers_for_overcommitment(&workload, capacity, 0.5);
+    let mut table = Table::new(
+        "Ablation: cluster partitioning at 50% overcommitment (priority policy)",
+        &["partitions", "failure probability", "throughput loss"],
+    );
+    for (label, partitions) in [
+        ("mixed (none)", PartitionScheme::None),
+        ("2 pools", PartitionScheme::ByPriority { pools: 2 }),
+        ("4 pools", PartitionScheme::ByPriority { pools: 4 }),
+    ] {
+        let config = ClusterConfig {
+            num_servers: servers,
+            server_capacity: capacity,
+            placement: PlacementKind::CosineFitness,
+            partitions,
+            mechanism: DeflationMechanism::Transparent,
+        };
+        let mode = ReclamationMode::Deflation(Arc::new(PriorityDeflation::default()));
+        let result = ClusterSimulation::new(config, mode).run(&workload);
+        table.row(&[
+            label.to_string(),
+            pct(result.failure_probability()),
+            pct(result.mean_throughput_loss()),
+        ]);
+    }
+    table
+}
+
+/// Ablation C: deflation mechanisms. For a range of targets, how closely does
+/// each mechanism reach the requested allocation (granularity error) and how
+/// much memory pressure does it leave behind?
+pub fn mechanism_ablation() -> Table {
+    let spec = VmSpec::deflatable(
+        VmId(1),
+        VmClass::Interactive,
+        ResourceVector::new(16_000.0, 32_768.0, 500.0, 2_000.0),
+    );
+    let usage = ResourceVector::new(4_000.0, 12_288.0, 50.0, 100.0);
+    let mut table = Table::new(
+        "Ablation: deflation mechanisms (granularity error and memory pressure)",
+        &[
+            "mechanism",
+            "target deflation",
+            "cpu error",
+            "memory error",
+            "memory pressure",
+        ],
+    );
+    for mechanism in [
+        DeflationMechanism::Transparent,
+        DeflationMechanism::Explicit,
+        DeflationMechanism::Hybrid,
+    ] {
+        for target_deflation in [0.2, 0.4, 0.6] {
+            let mut domain = Domain::launch_with(spec.clone(), mechanism);
+            domain.report_guest_usage(usage, 4_096.0);
+            let target = spec.max_allocation * (1.0 - target_deflation);
+            domain.deflate_to(target);
+            let eff = domain.effective_allocation();
+            let cpu_error = (eff.cpu() - target.cpu()).abs() / spec.max_allocation.cpu();
+            let mem_error =
+                (eff.memory() - target.memory()).abs() / spec.max_allocation.memory();
+            table.row(&[
+                mechanism.name().to_string(),
+                pct(target_deflation),
+                pct(cpu_error),
+                pct(mem_error),
+                f3(domain.memory_pressure_overhead()),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_ablation_produces_all_rows() {
+        let table = placement_ablation(Scale::Quick);
+        assert_eq!(table.len(), 4);
+    }
+
+    #[test]
+    fn partition_ablation_produces_all_rows() {
+        let table = partition_ablation(Scale::Quick);
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn mechanism_ablation_shows_explicit_granularity_error() {
+        let table = mechanism_ablation();
+        assert_eq!(table.len(), 9);
+        let rendered = table.render();
+        assert!(rendered.contains("transparent"));
+        assert!(rendered.contains("explicit"));
+        assert!(rendered.contains("hybrid"));
+    }
+}

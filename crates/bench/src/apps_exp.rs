@@ -1,0 +1,101 @@
+//! Experiments reproducing the single-application results: Figure 3 (uniform
+//! deflation of SpecJBB / Kcompile / Memcached) and Figure 14 (SpecJBB memory
+//! deflation, transparent vs hybrid).
+
+use crate::report::{f3, pct, Table};
+use deflate_appsim::apps::{ApplicationProfile, SpecJbbMemoryExperiment};
+
+/// Deflation levels for Figure 3 (0–100 % in 10 % steps).
+pub const FIG3_LEVELS: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Memory-deflation levels for Figure 14 (0–45 % in 5 % steps).
+pub const FIG14_LEVELS: [f64; 10] = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45];
+
+/// Figure 3: normalized performance of the three applications when all
+/// resources are deflated in the same proportion.
+pub fn fig03() -> Table {
+    let apps = ApplicationProfile::figure3_applications();
+    let mut table = Table::new(
+        "Figure 3: application performance under uniform deflation",
+        &["deflation", "SpecJBB", "Kcompile", "Memcached"],
+    );
+    for &d in &FIG3_LEVELS {
+        table.row(&[
+            pct(d),
+            f3(apps[0].performance(d)),
+            f3(apps[1].performance(d)),
+            f3(apps[2].performance(d)),
+        ]);
+    }
+    table
+}
+
+/// Raw Figure 3 series: `(deflation, [specjbb, kcompile, memcached])`.
+pub fn fig03_series() -> Vec<(f64, [f64; 3])> {
+    let apps = ApplicationProfile::figure3_applications();
+    FIG3_LEVELS
+        .iter()
+        .map(|&d| {
+            (
+                d,
+                [
+                    apps[0].performance(d),
+                    apps[1].performance(d),
+                    apps[2].performance(d),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Figure 14: SpecJBB 2015 mean response time (normalized to no deflation)
+/// under transparent vs hybrid memory deflation.
+pub fn fig14() -> Table {
+    let exp = SpecJbbMemoryExperiment::default();
+    let mut table = Table::new(
+        "Figure 14: SpecJBB response time under memory deflation",
+        &["memory deflation", "transparent", "hybrid"],
+    );
+    for (d, transparent, hybrid) in exp.sweep(&FIG14_LEVELS) {
+        table.row(&[pct(d), f3(transparent), f3(hybrid)]);
+    }
+    table
+}
+
+/// Raw Figure 14 series: `(deflation, transparent RT, hybrid RT)`.
+pub fn fig14_series() -> Vec<(f64, f64, f64)> {
+    SpecJbbMemoryExperiment::default().sweep(&FIG14_LEVELS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig03_has_expected_shape() {
+        let series = fig03_series();
+        assert_eq!(series.len(), FIG3_LEVELS.len());
+        // At 0 deflation all apps are at full performance.
+        assert!(series[0].1.iter().all(|&p| (p - 1.0).abs() < 1e-12));
+        // SpecJBB (index 0) is always the worst performer or tied.
+        for (_, perf) in &series {
+            assert!(perf[0] <= perf[1] + 1e-9);
+            assert!(perf[0] <= perf[2] + 1e-9);
+        }
+        assert!(!fig03().is_empty());
+    }
+
+    #[test]
+    fn fig14_has_expected_shape() {
+        let series = fig14_series();
+        assert_eq!(series.len(), FIG14_LEVELS.len());
+        // Baseline is 1.0 for both mechanisms.
+        assert!((series[0].1 - 1.0).abs() < 1e-9);
+        assert!((series[0].2 - 1.0).abs() < 1e-9);
+        // Hybrid never worse than transparent.
+        for (_, t, h) in &series {
+            assert!(h <= &(t + 1e-9));
+        }
+        assert!(!fig14().is_empty());
+    }
+}

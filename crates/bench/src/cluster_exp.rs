@@ -1,0 +1,311 @@
+//! Experiments reproducing the cluster-level evaluation of §7.4: Figure 20
+//! (reclamation-failure probability), Figure 21 (throughput loss) and
+//! Figure 22 (revenue increase), all as a function of cluster overcommitment.
+
+use crate::report::{pct, Table};
+use crate::scale::Scale;
+use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
+use deflate_cluster::metrics::SimResult;
+use deflate_cluster::sim::ClusterSimulation;
+use deflate_cluster::spec::{
+    paper_server_capacity, servers_for_overcommitment, workload_from_azure, MinAllocationRule,
+    WorkloadVm,
+};
+use deflate_core::placement::PartitionScheme;
+use deflate_core::policy::{DeterministicDeflation, PriorityDeflation, ProportionalDeflation};
+use deflate_core::pricing::{PricingPolicy, RateCard};
+use deflate_hypervisor::domain::DeflationMechanism;
+use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
+use std::sync::Arc;
+
+/// Overcommitment levels swept by Figures 20–22 (0–70 %).
+pub const OVERCOMMIT_LEVELS: [f64; 8] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+
+/// The reclamation policies compared by Figure 20/21.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Proportional deflation (Eq 1/2).
+    Proportional,
+    /// Priority-weighted deflation (Eq 3/4).
+    Priority,
+    /// Deterministic (binary) deflation.
+    Deterministic,
+    /// Priority deflation with priority-partitioned placement (§5.2.1).
+    PriorityPartitioned,
+    /// The preemption baseline of current transient offerings.
+    Preemption,
+}
+
+impl PolicyChoice {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyChoice::Proportional => "proportional",
+            PolicyChoice::Priority => "priority",
+            PolicyChoice::Deterministic => "deterministic",
+            PolicyChoice::PriorityPartitioned => "priority+partitions",
+            PolicyChoice::Preemption => "preemption",
+        }
+    }
+
+    fn mode(&self) -> ReclamationMode {
+        match self {
+            PolicyChoice::Proportional => {
+                ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default()))
+            }
+            PolicyChoice::Priority | PolicyChoice::PriorityPartitioned => {
+                ReclamationMode::Deflation(Arc::new(PriorityDeflation::default()))
+            }
+            PolicyChoice::Deterministic => {
+                ReclamationMode::Deflation(Arc::new(DeterministicDeflation::binary()))
+            }
+            PolicyChoice::Preemption => ReclamationMode::Preemption,
+        }
+    }
+
+    fn partitions(&self) -> PartitionScheme {
+        match self {
+            PolicyChoice::PriorityPartitioned => PartitionScheme::ByPriority { pools: 4 },
+            _ => PartitionScheme::None,
+        }
+    }
+
+    fn min_rule(&self) -> MinAllocationRule {
+        match self {
+            // The priority-aware policies also derive the minimum allocation
+            // from the priority (§5.1.2).
+            PolicyChoice::Priority | PolicyChoice::PriorityPartitioned => {
+                MinAllocationRule::PriorityTimesMax
+            }
+            _ => MinAllocationRule::None,
+        }
+    }
+}
+
+/// The cluster workload (derived from the synthetic Azure trace) used by the
+/// Figure 20–22 experiments.
+pub fn cluster_workload(scale: Scale, min_rule: MinAllocationRule) -> Vec<WorkloadVm> {
+    let traces = AzureTraceGenerator::generate(&AzureTraceConfig {
+        num_vms: scale.cluster_vms(),
+        duration_hours: scale.cluster_trace_hours(),
+        seed: scale.seed(),
+        ..Default::default()
+    });
+    workload_from_azure(&traces, min_rule)
+}
+
+/// Run one policy at one overcommitment level.
+pub fn run_policy(scale: Scale, policy: PolicyChoice, overcommitment: f64) -> SimResult {
+    let workload = cluster_workload(scale, policy.min_rule());
+    let capacity = paper_server_capacity();
+    let servers = servers_for_overcommitment(&workload, capacity, overcommitment);
+    let config = ClusterConfig {
+        num_servers: servers,
+        server_capacity: capacity,
+        placement: PlacementKind::CosineFitness,
+        partitions: policy.partitions(),
+        mechanism: DeflationMechanism::Transparent,
+    };
+    ClusterSimulation::new(config, policy.mode()).run(&workload)
+}
+
+/// Figure 20: reclamation-failure probability vs overcommitment, for each
+/// policy and the preemption baseline.
+pub fn fig20(scale: Scale) -> Vec<(PolicyChoice, Vec<(f64, f64)>)> {
+    let policies = [
+        PolicyChoice::Proportional,
+        PolicyChoice::Priority,
+        PolicyChoice::Deterministic,
+        PolicyChoice::Preemption,
+    ];
+    policies
+        .iter()
+        .map(|&policy| {
+            let series = OVERCOMMIT_LEVELS
+                .iter()
+                .map(|&oc| (oc, run_policy(scale, policy, oc).failure_probability()))
+                .collect();
+            (policy, series)
+        })
+        .collect()
+}
+
+/// Figure 20 as a printable table.
+pub fn fig20_table(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 20: failure probability vs cluster overcommitment",
+        &["policy", "overcommitment", "failure probability"],
+    );
+    for (policy, series) in fig20(scale) {
+        for (oc, failure) in series {
+            table.row(&[policy.name().to_string(), pct(oc), pct(failure)]);
+        }
+    }
+    table
+}
+
+/// Figure 21: decrease in throughput of deflatable VMs vs overcommitment.
+pub fn fig21(scale: Scale) -> Vec<(PolicyChoice, Vec<(f64, f64)>)> {
+    let policies = [
+        PolicyChoice::Proportional,
+        PolicyChoice::Priority,
+        PolicyChoice::Deterministic,
+        PolicyChoice::PriorityPartitioned,
+    ];
+    policies
+        .iter()
+        .map(|&policy| {
+            let series = OVERCOMMIT_LEVELS
+                .iter()
+                .map(|&oc| (oc, run_policy(scale, policy, oc).mean_throughput_loss()))
+                .collect();
+            (policy, series)
+        })
+        .collect()
+}
+
+/// Figure 21 as a printable table.
+pub fn fig21_table(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 21: throughput decrease of deflatable VMs vs cluster overcommitment",
+        &["policy", "overcommitment", "throughput loss"],
+    );
+    for (policy, series) in fig21(scale) {
+        for (oc, loss) in series {
+            table.row(&[policy.name().to_string(), pct(oc), pct(loss)]);
+        }
+    }
+    table
+}
+
+/// The pricing schemes compared by Figure 22.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PricingChoice {
+    /// Static 0.2× pricing with proportional deflation.
+    Static,
+    /// Priority-based pricing with priority-based deflation.
+    PriorityBased,
+    /// Allocation-based pricing with proportional deflation.
+    AllocationBased,
+}
+
+impl PricingChoice {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PricingChoice::Static => "static",
+            PricingChoice::PriorityBased => "priority-based",
+            PricingChoice::AllocationBased => "allocation-based",
+        }
+    }
+
+    fn pricing(&self) -> PricingPolicy {
+        match self {
+            PricingChoice::Static => PricingPolicy::static_default(),
+            PricingChoice::PriorityBased => PricingPolicy::PriorityBased,
+            PricingChoice::AllocationBased => PricingPolicy::AllocationBased,
+        }
+    }
+
+    fn policy(&self) -> PolicyChoice {
+        match self {
+            PricingChoice::Static | PricingChoice::AllocationBased => PolicyChoice::Proportional,
+            PricingChoice::PriorityBased => PolicyChoice::Priority,
+        }
+    }
+}
+
+/// Figure 22: increase in per-server revenue from deflatable VMs vs
+/// overcommitment, relative to the 0 %-overcommitment baseline of the same
+/// pricing scheme.
+pub fn fig22(scale: Scale) -> Vec<(PricingChoice, Vec<(f64, f64)>)> {
+    let rates = RateCard::default();
+    [
+        PricingChoice::Static,
+        PricingChoice::PriorityBased,
+        PricingChoice::AllocationBased,
+    ]
+    .iter()
+    .map(|&choice| {
+        let pricing = choice.pricing();
+        let baseline = run_policy(scale, choice.policy(), 0.0)
+            .deflatable_revenue_per_server(&pricing, &rates);
+        let series = OVERCOMMIT_LEVELS
+            .iter()
+            .map(|&oc| {
+                let result = run_policy(scale, choice.policy(), oc);
+                let revenue = result.deflatable_revenue_per_server(&pricing, &rates);
+                let increase = if baseline <= 0.0 {
+                    0.0
+                } else {
+                    revenue / baseline - 1.0
+                };
+                (oc, increase)
+            })
+            .collect();
+        (choice, series)
+    })
+    .collect()
+}
+
+/// Figure 22 as a printable table.
+pub fn fig22_table(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 22: increase in cloud revenue from deflatable VMs",
+        &["pricing", "overcommitment", "revenue increase"],
+    );
+    for (choice, series) in fig22(scale) {
+        for (oc, increase) in series {
+            table.row(&[choice.name().to_string(), pct(oc), pct(increase)]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deflation_beats_preemption_on_failures() {
+        // A single overcommitment point is enough for a unit test; the full
+        // sweep runs in the fig20 binary / bench.
+        let proportional = run_policy(Scale::Quick, PolicyChoice::Proportional, 0.5);
+        let preemption = run_policy(Scale::Quick, PolicyChoice::Preemption, 0.5);
+        assert!(
+            proportional.failure_probability() < preemption.failure_probability(),
+            "proportional {} vs preemption {}",
+            proportional.failure_probability(),
+            preemption.failure_probability()
+        );
+        assert!(proportional.failure_probability() < 0.05);
+    }
+
+    #[test]
+    fn throughput_loss_is_small_at_moderate_overcommitment() {
+        let result = run_policy(Scale::Quick, PolicyChoice::Proportional, 0.4);
+        assert!(
+            result.mean_throughput_loss() < 0.05,
+            "loss {}",
+            result.mean_throughput_loss()
+        );
+    }
+
+    #[test]
+    fn revenue_increases_with_overcommitment_for_static_pricing() {
+        let rates = RateCard::default();
+        let pricing = PricingPolicy::static_default();
+        let base = run_policy(Scale::Quick, PolicyChoice::Proportional, 0.0)
+            .deflatable_revenue_per_server(&pricing, &rates);
+        let high = run_policy(Scale::Quick, PolicyChoice::Proportional, 0.5)
+            .deflatable_revenue_per_server(&pricing, &rates);
+        assert!(high > base, "per-server revenue should rise: {base} -> {high}");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PolicyChoice::Proportional.name(), "proportional");
+        assert_eq!(PolicyChoice::PriorityPartitioned.name(), "priority+partitions");
+        assert_eq!(PricingChoice::AllocationBased.name(), "allocation-based");
+    }
+}

@@ -1,0 +1,176 @@
+//! Experiments reproducing the feasibility analysis of §3.2
+//! (Figures 5–12).
+
+use crate::report::{pct, Table};
+use crate::scale::Scale;
+use deflate_traces::alibaba::{AlibabaTraceConfig, AlibabaTraceGenerator, ContainerTrace};
+use deflate_traces::analysis::{self, FeasibilityPoint};
+use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator, AzureVmTrace};
+
+/// Deflation levels used by the feasibility figures (10–90 %).
+pub const LEVELS: [f64; 9] = analysis::DEFLATION_LEVELS;
+
+/// Generate the Azure VM population for a scale.
+pub fn azure_population(scale: Scale) -> Vec<AzureVmTrace> {
+    AzureTraceGenerator::generate(&AzureTraceConfig {
+        num_vms: scale.azure_vms(),
+        duration_hours: 24.0,
+        seed: scale.seed(),
+        ..Default::default()
+    })
+}
+
+/// Generate the Alibaba container population for a scale.
+pub fn alibaba_population(scale: Scale) -> Vec<ContainerTrace> {
+    AlibabaTraceGenerator::generate(&AlibabaTraceConfig {
+        num_containers: scale.alibaba_containers(),
+        duration_hours: 24.0,
+        seed: scale.seed(),
+        ..Default::default()
+    })
+}
+
+fn feasibility_table(title: &str, rows: &[(String, Vec<FeasibilityPoint>)]) -> Table {
+    let mut table = Table::new(
+        title,
+        &["group", "deflation", "q1", "median", "q3", "mean"],
+    );
+    for (group, points) in rows {
+        for p in points {
+            table.row(&[
+                group.clone(),
+                pct(p.deflation),
+                pct(p.distribution.q1),
+                pct(p.distribution.median),
+                pct(p.distribution.q3),
+                pct(p.distribution.mean),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 5: fraction of time VMs' CPU usage exceeds the deflated allocation,
+/// across the whole population.
+pub fn fig05(scale: Scale) -> Table {
+    let vms = azure_population(scale);
+    let points = analysis::cpu_feasibility(&vms, &LEVELS);
+    feasibility_table(
+        "Figure 5: CPU deflation feasibility (all VMs)",
+        &[("all".to_string(), points)],
+    )
+}
+
+/// Figure 6: the same breakdown by workload class.
+pub fn fig06(scale: Scale) -> Table {
+    let vms = azure_population(scale);
+    let rows: Vec<(String, Vec<FeasibilityPoint>)> =
+        analysis::cpu_feasibility_by_class(&vms, &LEVELS)
+            .into_iter()
+            .map(|(class, points)| (class.to_string(), points))
+            .collect();
+    feasibility_table("Figure 6: CPU deflation feasibility by workload class", &rows)
+}
+
+/// Figure 7: breakdown by VM memory size.
+pub fn fig07(scale: Scale) -> Table {
+    let vms = azure_population(scale);
+    let rows: Vec<(String, Vec<FeasibilityPoint>)> =
+        analysis::cpu_feasibility_by_size(&vms, &LEVELS)
+            .into_iter()
+            .map(|(size, points)| (size.label().to_string(), points))
+            .collect();
+    feasibility_table("Figure 7: CPU deflation feasibility by VM memory size", &rows)
+}
+
+/// Figure 8: breakdown by 95th-percentile CPU usage.
+pub fn fig08(scale: Scale) -> Table {
+    let vms = azure_population(scale);
+    let rows: Vec<(String, Vec<FeasibilityPoint>)> =
+        analysis::cpu_feasibility_by_peak(&vms, &LEVELS)
+            .into_iter()
+            .map(|(peak, points)| (peak.label().to_string(), points))
+            .collect();
+    feasibility_table(
+        "Figure 8: CPU deflation feasibility by 95th-percentile CPU usage",
+        &rows,
+    )
+}
+
+/// Figure 9: memory-occupancy deflation feasibility (Alibaba containers).
+pub fn fig09(scale: Scale) -> Table {
+    let containers = alibaba_population(scale);
+    let points = analysis::memory_feasibility(&containers, &LEVELS);
+    feasibility_table(
+        "Figure 9: memory usage of applications (time above deflated allocation)",
+        &[("containers".to_string(), points)],
+    )
+}
+
+/// Figure 10: memory-bandwidth usage distribution.
+pub fn fig10(scale: Scale) -> Table {
+    let containers = alibaba_population(scale);
+    let summary = analysis::memory_bandwidth_usage(&containers);
+    let mut table = Table::new(
+        "Figure 10: memory bandwidth usage across containers",
+        &["statistic", "utilisation"],
+    );
+    table.row(&["min".into(), pct(summary.min)]);
+    table.row(&["q1".into(), pct(summary.q1)]);
+    table.row(&["median".into(), pct(summary.median)]);
+    table.row(&["q3".into(), pct(summary.q3)]);
+    table.row(&["max".into(), pct(summary.max)]);
+    table.row(&["mean".into(), pct(summary.mean)]);
+    table
+}
+
+/// Figure 11: disk-bandwidth deflation feasibility.
+pub fn fig11(scale: Scale) -> Table {
+    let containers = alibaba_population(scale);
+    let points = analysis::disk_feasibility(&containers, &LEVELS);
+    feasibility_table(
+        "Figure 11: disk bandwidth deflation feasibility",
+        &[("containers".to_string(), points)],
+    )
+}
+
+/// Figure 12: network-bandwidth deflation feasibility.
+pub fn fig12(scale: Scale) -> Table {
+    let containers = alibaba_population(scale);
+    let points = analysis::network_feasibility(&containers, &LEVELS);
+    feasibility_table(
+        "Figure 12: network bandwidth deflation feasibility",
+        &[("containers".to_string(), points)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_feasibility_tables_have_rows() {
+        let scale = Scale::Quick;
+        for (name, table) in [
+            ("fig05", fig05(scale)),
+            ("fig06", fig06(scale)),
+            ("fig07", fig07(scale)),
+            ("fig08", fig08(scale)),
+            ("fig09", fig09(scale)),
+            ("fig10", fig10(scale)),
+            ("fig11", fig11(scale)),
+            ("fig12", fig12(scale)),
+        ] {
+            assert!(!table.is_empty(), "{name} produced an empty table");
+            assert!(table.render().contains("Figure"), "{name} missing title");
+        }
+    }
+
+    #[test]
+    fn populations_are_deterministic() {
+        let a = azure_population(Scale::Quick);
+        let b = azure_population(Scale::Quick);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].cpu_util.samples(), b[0].cpu_util.samples());
+    }
+}

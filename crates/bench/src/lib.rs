@@ -1,0 +1,57 @@
+//! # deflate-bench
+//!
+//! Experiment harness reproducing every figure of the paper's evaluation.
+//!
+//! Each `figNN` module function regenerates the data series behind the
+//! corresponding figure and returns it both as structured data and as a
+//! printable [`report::Table`]. The `src/bin/figNN.rs` binaries print the
+//! tables (`cargo run --release -p deflate-bench --bin fig20`), and the
+//! Criterion benches in `benches/` measure the cost of regenerating each
+//! figure at `Quick` scale.
+//!
+//! | Module | Figures |
+//! |---|---|
+//! | [`apps_exp`] | 3, 14 |
+//! | [`feasibility`] | 5, 6, 7, 8, 9, 10, 11, 12 |
+//! | [`web`] | 16, 17, 18, 19 |
+//! | [`cluster_exp`] | 20, 21, 22 |
+//! | [`ablation`] | placement / partition / mechanism ablations |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod apps_exp;
+pub mod cluster_exp;
+pub mod feasibility;
+pub mod report;
+pub mod scale;
+pub mod web;
+
+pub use report::Table;
+pub use scale::Scale;
+
+/// Print every figure's table at the given scale (used by the `all_figures`
+/// binary).
+pub fn print_all(scale: Scale) {
+    apps_exp::fig03().print();
+    feasibility::fig05(scale).print();
+    feasibility::fig06(scale).print();
+    feasibility::fig07(scale).print();
+    feasibility::fig08(scale).print();
+    feasibility::fig09(scale).print();
+    feasibility::fig10(scale).print();
+    feasibility::fig11(scale).print();
+    feasibility::fig12(scale).print();
+    apps_exp::fig14().print();
+    web::fig16(scale).print();
+    web::fig17(scale).print();
+    web::fig18_table(scale).print();
+    web::fig19_table(scale).print();
+    cluster_exp::fig20_table(scale).print();
+    cluster_exp::fig21_table(scale).print();
+    cluster_exp::fig22_table(scale).print();
+    ablation::placement_ablation(scale).print();
+    ablation::partition_ablation(scale).print();
+    ablation::mechanism_ablation().print();
+}

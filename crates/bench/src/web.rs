@@ -1,0 +1,180 @@
+//! Experiments reproducing the web-serving results of §7.2 and §7.3:
+//! Figure 16 (Wikipedia response times under CPU deflation), Figure 17
+//! (fraction of requests served), Figure 18 (microservice social network) and
+//! Figure 19 (deflation-aware load balancing).
+
+use crate::report::{pct, secs, Table};
+use crate::scale::Scale;
+use deflate_appsim::latency::LatencyStats;
+use deflate_appsim::loadbalancer::{LbPolicy, WebCluster, WebClusterConfig};
+use deflate_appsim::microservice::SocialNetworkApp;
+use deflate_appsim::multitier::{MultiTierApp, MultiTierConfig};
+
+/// CPU deflation levels of Figure 16/17 (0–97 %, matching the paper's
+/// 30-core → 1-core sweep).
+pub const FIG16_LEVELS: [f64; 11] = [
+    0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.9667,
+];
+
+/// Deflation levels of Figure 18.
+pub const FIG18_LEVELS: [f64; 5] = [0.0, 0.30, 0.50, 0.60, 0.65];
+
+/// Deflation levels of Figure 19 (0–80 %).
+pub const FIG19_LEVELS: [f64; 9] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+
+/// Run the Wikipedia deflation sweep once and return the per-level stats
+/// (shared by Figures 16 and 17).
+pub fn wikipedia_sweep(scale: Scale) -> Vec<(f64, LatencyStats)> {
+    let config = MultiTierConfig::wikipedia(scale.web_duration_secs(), scale.seed());
+    MultiTierApp::deflation_sweep(&config, &FIG16_LEVELS)
+}
+
+/// Figure 16: Wikipedia response-time distribution vs CPU deflation.
+pub fn fig16(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 16: Wikipedia response times with CPU deflation (30-core VM, 800 req/s)",
+        &["deflation", "cores", "mean", "median", "p90", "p99"],
+    );
+    for (d, stats) in wikipedia_sweep(scale) {
+        let cores = (30.0 * (1.0 - d)).round();
+        table.row(&[
+            pct(d),
+            format!("{cores:.0}"),
+            secs(stats.mean()),
+            secs(stats.median()),
+            secs(stats.p90()),
+            secs(stats.p99()),
+        ]);
+    }
+    table
+}
+
+/// Figure 17: fraction of Wikipedia requests served vs CPU deflation.
+pub fn fig17(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 17: Wikipedia requests served vs CPU deflation",
+        &["deflation", "requests served"],
+    );
+    for (d, stats) in wikipedia_sweep(scale) {
+        table.row(&[pct(d), pct(stats.served_fraction())]);
+    }
+    table
+}
+
+/// Figure 18: social-network (30 microservices) response times vs deflation
+/// of 22 deflatable services.
+pub fn fig18(scale: Scale) -> Vec<(f64, LatencyStats)> {
+    let app = SocialNetworkApp::paper_configuration(500.0);
+    app.deflation_sweep(&FIG18_LEVELS, scale.microservice_requests(), scale.seed())
+}
+
+/// Figure 18 as a printable table.
+pub fn fig18_table(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 18: social-network response times (22 of 30 microservices deflated, 500 req/s)",
+        &["deflation", "median", "p90", "p99", "served"],
+    );
+    for (d, stats) in fig18(scale) {
+        table.row(&[
+            pct(d),
+            secs(stats.median()),
+            secs(stats.p90()),
+            secs(stats.p99()),
+            pct(stats.served_fraction()),
+        ]);
+    }
+    table
+}
+
+/// Figure 19: vanilla vs deflation-aware load balancing over three Wikipedia
+/// replicas (two deflatable), 200 req/s.
+pub fn fig19(scale: Scale) -> Vec<(f64, LatencyStats, LatencyStats)> {
+    let config = WebClusterConfig::figure19(scale.web_duration_secs(), scale.seed());
+    WebCluster::policy_comparison(&config, &FIG19_LEVELS)
+}
+
+/// Figure 19 as a printable table.
+pub fn fig19_table(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 19: deflation-aware load balancing (3 replicas, 2 deflatable, 200 req/s)",
+        &[
+            "deflation",
+            "vanilla mean",
+            "aware mean",
+            "vanilla p90",
+            "aware p90",
+        ],
+    );
+    for (d, vanilla, aware) in fig19(scale) {
+        table.row(&[
+            pct(d),
+            secs(vanilla.mean()),
+            secs(aware.mean()),
+            secs(vanilla.p90()),
+            secs(aware.p90()),
+        ]);
+    }
+    table
+}
+
+/// Convenience: check that the deflation-aware policy improves the p90 tail
+/// at a given deflation level (used by tests and the ablation bench).
+pub fn aware_lb_tail_improvement(scale: Scale, deflation: f64) -> f64 {
+    let config = WebClusterConfig::figure19(scale.web_duration_secs(), scale.seed());
+    let vanilla = WebCluster::run(&config, LbPolicy::Vanilla, deflation);
+    let aware = WebCluster::run(&config, LbPolicy::DeflationAware, deflation);
+    if vanilla.p90() <= 0.0 {
+        0.0
+    } else {
+        1.0 - aware.p90() / vanilla.p90()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_17_shapes() {
+        let sweep = wikipedia_sweep(Scale::Quick);
+        assert_eq!(sweep.len(), FIG16_LEVELS.len());
+        let base_mean = sweep[0].1.mean();
+        let at_50 = sweep
+            .iter()
+            .find(|(d, _)| (*d - 0.5).abs() < 1e-9)
+            .unwrap();
+        let deepest = sweep.last().unwrap();
+        // Modest growth at 50 %, large at 97 %.
+        assert!(at_50.1.mean() < 3.0 * base_mean);
+        assert!(deepest.1.mean() > at_50.1.mean());
+        // Served fraction stays ~100 % at 50 %, collapses by 97 %.
+        assert!(at_50.1.served_fraction() > 0.99);
+        assert!(deepest.1.served_fraction() < 0.9);
+        assert!(!fig16(Scale::Quick).is_empty());
+        assert!(!fig17(Scale::Quick).is_empty());
+    }
+
+    #[test]
+    fn fig18_abrupt_beyond_50() {
+        let rows = fig18(Scale::Quick);
+        let median_at = |target: f64| {
+            rows.iter()
+                .find(|(d, _)| (*d - target).abs() < 1e-9)
+                .map(|(_, s)| s.median())
+                .unwrap()
+        };
+        assert!(median_at(0.5) < 4.0 * median_at(0.0));
+        assert!(median_at(0.65) > 5.0 * median_at(0.5));
+        assert!(!fig18_table(Scale::Quick).is_empty());
+    }
+
+    #[test]
+    fn fig19_aware_lb_helps_at_high_deflation() {
+        let improvement = aware_lb_tail_improvement(Scale::Quick, 0.8);
+        assert!(
+            improvement > 0.10,
+            "expected ≥10% tail improvement, got {improvement}"
+        );
+        assert!(!fig19_table(Scale::Quick).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! # deflate-cluster
+//!
+//! Cluster manager, per-server deflation controllers and the trace-driven
+//! discrete-event cluster simulator of §6–§7.4.
+//!
+//! * [`spec`] — converting trace VMs into cluster workload items, cluster
+//!   sizing and overcommitment helpers.
+//! * [`manager`] — the centralized cluster manager: deflation-aware
+//!   placement, the three-step admission protocol, and the preemption
+//!   baseline.
+//! * [`sim`] — the trace-driven simulation loop.
+//! * [`metrics`] — per-VM records and the cluster-level metrics of §7.4:
+//!   reclamation-failure probability (Figure 20), throughput loss
+//!   (Figure 21) and revenue (Figure 22).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod manager;
+pub mod metrics;
+pub mod sim;
+pub mod spec;
+
+pub use manager::{
+    AdmissionCounters, ClusterConfig, ClusterManager, PlacementKind, PlacementResult,
+    ReclamationMode,
+};
+pub use metrics::{SimResult, VmOutcome, VmRecord};
+pub use sim::ClusterSimulation;
+pub use spec::{MinAllocationRule, WorkloadVm};
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::manager::{
+        AdmissionCounters, ClusterConfig, ClusterManager, PlacementKind, PlacementResult,
+        ReclamationMode,
+    };
+    pub use crate::metrics::{SimResult, VmOutcome, VmRecord};
+    pub use crate::sim::ClusterSimulation;
+    pub use crate::spec::{
+        min_cluster_size, overcommitment_of, paper_server_capacity, servers_for_overcommitment,
+        workload_from_azure, MinAllocationRule, WorkloadVm,
+    };
+}

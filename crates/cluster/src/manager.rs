@@ -1,0 +1,620 @@
+//! The centralized cluster manager (§6).
+//!
+//! The cluster manager owns one [`LocalController`] per server, implements
+//! the deflation-aware placement of §5.2 (fitness-based, optionally
+//! partitioned by priority) and the three-step admission protocol of §6:
+//!
+//! 1. the manager picks the "best" server for the incoming VM based on the
+//!    VM's size and all servers' utilisation;
+//! 2. that server computes the deflation required to accommodate the VM and
+//!    rejects it if any resource constraint would be violated;
+//! 3. the deflation is performed and the VM is launched.
+//!
+//! If the chosen server rejects the VM the manager retries on the remaining
+//! feasible servers; only when every server has rejected it is the VM
+//! reported as a reclamation failure (the event counted by Figure 20).
+//!
+//! The manager can also run in **preemption mode**, the baseline current
+//! clouds implement: instead of deflating resident low-priority VMs it kills
+//! them (lowest priority first) until the new VM fits.
+
+use deflate_core::error::{DeflateError, Result};
+use deflate_core::placement::{
+    BestFit, CosineFitness, FirstFit, PartitionScheme, PartitionedPlacement, PlacementPolicy,
+    ServerView, WorstFit,
+};
+use deflate_core::policy::DeflationPolicy;
+use deflate_core::resources::{ResourceKind, ResourceVector};
+use deflate_core::vm::{ServerId, VmId, VmSpec};
+use deflate_hypervisor::controller::{AdmissionOutcome, LocalController};
+use deflate_hypervisor::domain::DeflationMechanism;
+use deflate_hypervisor::server::SimServer;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which placement heuristic the manager uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementKind {
+    /// Cosine-similarity fitness (§5.2), the paper's default.
+    CosineFitness,
+    /// First-fit bin packing.
+    FirstFit,
+    /// Best-fit bin packing.
+    BestFit,
+    /// Worst-fit (most available) packing.
+    WorstFit,
+}
+
+impl PlacementKind {
+    fn build(&self, scheme: PartitionScheme) -> Box<dyn PlacementPolicy> {
+        match self {
+            PlacementKind::CosineFitness => Box::new(PartitionedPlacement::new(
+                scheme,
+                CosineFitness::load_balancing(),
+            )),
+            PlacementKind::FirstFit => Box::new(PartitionedPlacement::new(scheme, FirstFit)),
+            PlacementKind::BestFit => Box::new(PartitionedPlacement::new(scheme, BestFit)),
+            PlacementKind::WorstFit => Box::new(PartitionedPlacement::new(scheme, WorstFit)),
+        }
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementKind::CosineFitness => "cosine-fitness",
+            PlacementKind::FirstFit => "first-fit",
+            PlacementKind::BestFit => "best-fit",
+            PlacementKind::WorstFit => "worst-fit",
+        }
+    }
+}
+
+/// How resources are reclaimed from low-priority VMs under pressure.
+#[derive(Clone)]
+pub enum ReclamationMode {
+    /// Deflate resident VMs using the given server-level policy.
+    Deflation(Arc<dyn DeflationPolicy>),
+    /// Preempt (kill) resident low-priority VMs — the transient-server
+    /// baseline the paper compares against in Figure 20.
+    Preemption,
+}
+
+impl ReclamationMode {
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReclamationMode::Deflation(p) => p.name(),
+            ReclamationMode::Preemption => "preemption",
+        }
+    }
+}
+
+impl std::fmt::Debug for ReclamationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReclamationMode({})", self.name())
+    }
+}
+
+/// Static cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of physical servers.
+    pub num_servers: usize,
+    /// Per-server hardware capacity.
+    pub server_capacity: ResourceVector,
+    /// Placement heuristic.
+    pub placement: PlacementKind,
+    /// Cluster partitioning scheme (§5.2.1).
+    pub partitions: PartitionScheme,
+    /// Deflation mechanism used by the per-server controllers.
+    pub mechanism: DeflationMechanism,
+}
+
+impl ClusterConfig {
+    /// The paper's simulated cluster: `num_servers` servers of 48 CPUs /
+    /// 128 GB, cosine-fitness placement, no partitions, transparent
+    /// mechanisms (mechanism choice is irrelevant at cluster granularity).
+    pub fn paper_default(num_servers: usize) -> Self {
+        ClusterConfig {
+            num_servers,
+            server_capacity: crate::spec::paper_server_capacity(),
+            placement: PlacementKind::CosineFitness,
+            partitions: PartitionScheme::None,
+            mechanism: DeflationMechanism::Transparent,
+        }
+    }
+}
+
+/// Result of asking the cluster to place one VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementResult {
+    /// Placed without disturbing anyone.
+    Placed {
+        /// Chosen server.
+        server: ServerId,
+    },
+    /// Placed after deflating resident VMs.
+    PlacedWithDeflation {
+        /// Chosen server.
+        server: ServerId,
+        /// Resources reclaimed from residents.
+        reclaimed: ResourceVector,
+    },
+    /// Placed after preempting resident VMs (preemption mode only).
+    PlacedWithPreemption {
+        /// Chosen server.
+        server: ServerId,
+        /// VMs that were killed to make room.
+        preempted: Vec<VmId>,
+    },
+    /// No server could make room: a reclamation failure (Figure 20's event).
+    Rejected,
+}
+
+impl PlacementResult {
+    /// True when the VM ended up running somewhere.
+    pub fn is_placed(&self) -> bool {
+        !matches!(self, PlacementResult::Rejected)
+    }
+}
+
+/// Aggregate admission counters maintained by the manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionCounters {
+    /// VMs admitted without any reclamation.
+    pub admitted_free: usize,
+    /// VMs admitted after deflating residents.
+    pub admitted_with_deflation: usize,
+    /// VMs admitted after preempting residents.
+    pub admitted_with_preemption: usize,
+    /// VMs rejected because no server could reclaim enough resources.
+    pub rejected: usize,
+    /// Resident VMs killed by the preemption baseline.
+    pub preempted_vms: usize,
+}
+
+impl AdmissionCounters {
+    /// Total placement attempts.
+    pub fn attempts(&self) -> usize {
+        self.admitted_free
+            + self.admitted_with_deflation
+            + self.admitted_with_preemption
+            + self.rejected
+    }
+}
+
+/// The centralized cluster manager.
+pub struct ClusterManager {
+    controllers: Vec<LocalController>,
+    placement: Box<dyn PlacementPolicy>,
+    partitions: PartitionScheme,
+    mode: ReclamationMode,
+    vm_location: HashMap<VmId, usize>,
+    counters: AdmissionCounters,
+}
+
+impl ClusterManager {
+    /// Build a cluster with the given configuration and reclamation mode.
+    pub fn new(config: &ClusterConfig, mode: ReclamationMode) -> Self {
+        let partition_assignment = config.partitions.assign_servers(config.num_servers);
+        let policy: Arc<dyn DeflationPolicy> = match &mode {
+            ReclamationMode::Deflation(p) => Arc::clone(p),
+            // The preemption baseline never calls the policy, but the local
+            // controllers need one for reinflation after departures.
+            ReclamationMode::Preemption => {
+                Arc::new(deflate_core::policy::ProportionalDeflation::default())
+            }
+        };
+        let controllers = (0..config.num_servers)
+            .map(|i| {
+                let server = SimServer::new(ServerId(i as u32), config.server_capacity)
+                    .with_partition(partition_assignment[i]);
+                LocalController::new(server, Arc::clone(&policy), config.mechanism)
+            })
+            .collect();
+        ClusterManager {
+            controllers,
+            placement: config.placement.build(config.partitions),
+            partitions: config.partitions,
+            mode,
+            vm_location: HashMap::new(),
+            counters: AdmissionCounters::default(),
+        }
+    }
+
+    /// Number of servers in the cluster.
+    pub fn num_servers(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Admission counters so far.
+    pub fn counters(&self) -> AdmissionCounters {
+        self.counters
+    }
+
+    /// Iterate over the underlying servers.
+    pub fn servers(&self) -> impl Iterator<Item = &SimServer> {
+        self.controllers.iter().map(|c| c.server())
+    }
+
+    /// Current placement views of all servers.
+    pub fn views(&self) -> Vec<ServerView> {
+        self.controllers.iter().map(|c| c.server().view()).collect()
+    }
+
+    /// The server index currently hosting a VM.
+    pub fn locate(&self, vm: VmId) -> Option<ServerId> {
+        self.vm_location
+            .get(&vm)
+            .map(|&i| self.controllers[i].server().id)
+    }
+
+    /// The VM's current CPU allocation as a fraction of its maximum (1.0 when
+    /// undeflated); `None` if the VM is not running.
+    pub fn cpu_allocation_fraction(&self, vm: VmId) -> Option<f64> {
+        let &idx = self.vm_location.get(&vm)?;
+        let domain = self.controllers[idx].server().domain(vm)?;
+        let max = domain.spec.max_allocation[ResourceKind::Cpu];
+        if max <= 0.0 {
+            return Some(1.0);
+        }
+        Some(domain.effective_allocation()[ResourceKind::Cpu] / max)
+    }
+
+    /// All VMs currently running, with their CPU allocation fractions.
+    pub fn running_allocation_fractions(&self) -> Vec<(VmId, f64)> {
+        let mut out = Vec::new();
+        for controller in &self.controllers {
+            for domain in controller.server().domains() {
+                let max = domain.spec.max_allocation[ResourceKind::Cpu];
+                let frac = if max <= 0.0 {
+                    1.0
+                } else {
+                    domain.effective_allocation()[ResourceKind::Cpu] / max
+                };
+                out.push((domain.spec.id, frac));
+            }
+        }
+        out
+    }
+
+    /// CPU allocation fractions of the VMs resident on one server. Used by
+    /// the simulator to record allocation changes touching only the server
+    /// affected by an event, which keeps large trace replays cheap.
+    pub fn allocation_fractions_on(&self, server: ServerId) -> Vec<(VmId, f64)> {
+        let idx = self.server_index(server);
+        if idx >= self.controllers.len() {
+            return Vec::new();
+        }
+        self.controllers[idx]
+            .server()
+            .domains()
+            .map(|domain| {
+                let max = domain.spec.max_allocation[ResourceKind::Cpu];
+                let frac = if max <= 0.0 {
+                    1.0
+                } else {
+                    domain.effective_allocation()[ResourceKind::Cpu] / max
+                };
+                (domain.spec.id, frac)
+            })
+            .collect()
+    }
+
+    /// Cluster-wide overcommitment: committed allocations over hardware
+    /// capacity, as a fraction above 1.0 (0.0 = not overcommitted), measured
+    /// on the CPU dimension.
+    pub fn current_overcommitment(&self) -> f64 {
+        let committed: f64 = self
+            .controllers
+            .iter()
+            .map(|c| c.server().committed()[ResourceKind::Cpu])
+            .sum();
+        let capacity: f64 = self
+            .controllers
+            .iter()
+            .map(|c| c.server().capacity[ResourceKind::Cpu])
+            .sum();
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (committed / capacity - 1.0).max(0.0)
+        }
+    }
+
+    /// Place a new VM, reclaiming resources if necessary.
+    pub fn place_vm(&mut self, spec: VmSpec) -> PlacementResult {
+        let result = match self.mode.clone() {
+            ReclamationMode::Deflation(_) => self.place_with_deflation(&spec),
+            ReclamationMode::Preemption => self.place_with_preemption(&spec),
+        };
+        match &result {
+            PlacementResult::Placed { .. } => self.counters.admitted_free += 1,
+            PlacementResult::PlacedWithDeflation { .. } => {
+                self.counters.admitted_with_deflation += 1
+            }
+            PlacementResult::PlacedWithPreemption { preempted, .. } => {
+                self.counters.admitted_with_preemption += 1;
+                self.counters.preempted_vms += preempted.len();
+            }
+            PlacementResult::Rejected => self.counters.rejected += 1,
+        }
+        result
+    }
+
+    fn server_index(&self, id: ServerId) -> usize {
+        id.0 as usize
+    }
+
+    fn place_with_deflation(&mut self, spec: &VmSpec) -> PlacementResult {
+        let mut excluded: Vec<ServerId> = Vec::new();
+        loop {
+            let views: Vec<ServerView> = self
+                .views()
+                .into_iter()
+                .filter(|v| !excluded.contains(&v.id))
+                .collect();
+            let Some(decision) = self.placement.place(spec, &views) else {
+                return PlacementResult::Rejected;
+            };
+            let idx = self.server_index(decision.server);
+            match self.controllers[idx].try_admit(spec.clone()) {
+                Ok(AdmissionOutcome::AdmittedWithoutDeflation) => {
+                    self.vm_location.insert(spec.id, idx);
+                    return PlacementResult::Placed {
+                        server: decision.server,
+                    };
+                }
+                Ok(AdmissionOutcome::AdmittedWithDeflation { reclaimed }) => {
+                    self.vm_location.insert(spec.id, idx);
+                    return PlacementResult::PlacedWithDeflation {
+                        server: decision.server,
+                        reclaimed,
+                    };
+                }
+                Ok(AdmissionOutcome::Rejected { .. }) => {
+                    excluded.push(decision.server);
+                }
+                Err(_) => {
+                    excluded.push(decision.server);
+                }
+            }
+            if excluded.len() >= self.controllers.len() {
+                return PlacementResult::Rejected;
+            }
+        }
+    }
+
+    fn place_with_preemption(&mut self, spec: &VmSpec) -> PlacementResult {
+        let mut excluded: Vec<ServerId> = Vec::new();
+        loop {
+            let views: Vec<ServerView> = self
+                .views()
+                .into_iter()
+                .filter(|v| !excluded.contains(&v.id))
+                .collect();
+            let Some(decision) = self.placement.place(spec, &views) else {
+                return PlacementResult::Rejected;
+            };
+            let idx = self.server_index(decision.server);
+            // Preempt lowest-priority deflatable VMs until the new VM fits.
+            let mut preempted = Vec::new();
+            loop {
+                let server = self.controllers[idx].server();
+                if spec.max_allocation.fits_within(&server.free()) {
+                    break;
+                }
+                let victim = server
+                    .domains()
+                    .filter(|d| d.spec.deflatable)
+                    .min_by(|a, b| {
+                        a.spec
+                            .priority
+                            .value()
+                            .partial_cmp(&b.spec.priority.value())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|d| d.spec.id);
+                let Some(victim) = victim else { break };
+                let _ = self.controllers[idx].server_mut().destroy_domain(victim);
+                self.vm_location.remove(&victim);
+                preempted.push(victim);
+            }
+            let server = self.controllers[idx].server();
+            if spec.max_allocation.fits_within(&server.free()) {
+                let mechanism = DeflationMechanism::Transparent;
+                if self.controllers[idx]
+                    .server_mut()
+                    .create_domain(spec.clone(), mechanism)
+                    .is_ok()
+                {
+                    self.vm_location.insert(spec.id, idx);
+                    return if preempted.is_empty() {
+                        PlacementResult::Placed {
+                            server: decision.server,
+                        }
+                    } else {
+                        self.counters.preempted_vms += 0; // counted by caller
+                        PlacementResult::PlacedWithPreemption {
+                            server: decision.server,
+                            preempted,
+                        }
+                    };
+                }
+            }
+            excluded.push(decision.server);
+            if excluded.len() >= self.controllers.len() {
+                return PlacementResult::Rejected;
+            }
+        }
+    }
+
+    /// Handle a VM departure: remove its domain and reinflate the residents
+    /// of the server it was on.
+    pub fn remove_vm(&mut self, vm: VmId) -> Result<()> {
+        let idx = self
+            .vm_location
+            .remove(&vm)
+            .ok_or(DeflateError::UnknownVm(vm))?;
+        self.controllers[idx].on_departure(vm)
+    }
+
+    /// The partition scheme in effect (used by experiment harnesses for
+    /// reporting).
+    pub fn partition_scheme(&self) -> PartitionScheme {
+        self.partitions
+    }
+
+    /// Check every server's capacity invariant (panics in debug builds when
+    /// violated; used by tests).
+    pub fn check_invariants(&self) -> bool {
+        self.controllers
+            .iter()
+            .all(|c| c.server().check_capacity_invariant().is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deflate_core::policy::ProportionalDeflation;
+    use deflate_core::vm::{Priority, VmClass};
+
+    fn small_cluster(mode: ReclamationMode) -> ClusterManager {
+        let config = ClusterConfig {
+            num_servers: 2,
+            server_capacity: ResourceVector::cpu_mem(16_000.0, 32_768.0),
+            placement: PlacementKind::CosineFitness,
+            partitions: PartitionScheme::None,
+            mechanism: DeflationMechanism::Transparent,
+        };
+        ClusterManager::new(&config, mode)
+    }
+
+    fn deflation_mode() -> ReclamationMode {
+        ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default()))
+    }
+
+    fn vm(id: u64, cores: f64, priority: f64) -> VmSpec {
+        VmSpec::deflatable(
+            VmId(id),
+            VmClass::Interactive,
+            ResourceVector::cpu_mem(cores * 1000.0, 8_192.0),
+        )
+        .with_priority(Priority::new(priority))
+    }
+
+    #[test]
+    fn places_vms_across_servers() {
+        let mut cluster = small_cluster(deflation_mode());
+        for i in 0..4 {
+            let result = cluster.place_vm(vm(i, 8.0, 0.5));
+            assert!(result.is_placed(), "VM {i} not placed: {result:?}");
+        }
+        assert!(cluster.check_invariants());
+        // 4 × 8 cores over 2 × 16-core servers: both servers are full and
+        // balanced.
+        let views = cluster.views();
+        assert_eq!(views.len(), 2);
+        for v in views {
+            assert!(v.used.cpu() >= 15_999.0);
+        }
+        assert_eq!(cluster.counters().attempts(), 4);
+        assert_eq!(cluster.counters().rejected, 0);
+    }
+
+    #[test]
+    fn deflation_mode_overcommits_instead_of_rejecting() {
+        let mut cluster = small_cluster(deflation_mode());
+        for i in 0..4 {
+            assert!(cluster.place_vm(vm(i, 8.0, 0.5)).is_placed());
+        }
+        // Cluster is full; a fifth VM forces deflation.
+        let result = cluster.place_vm(vm(5, 8.0, 0.5));
+        assert!(matches!(
+            result,
+            PlacementResult::PlacedWithDeflation { .. }
+        ));
+        assert!(cluster.check_invariants());
+        assert!(cluster.current_overcommitment() > 0.2);
+        assert_eq!(cluster.counters().admitted_with_deflation, 1);
+        // The deflated VMs report allocation fractions below 1.
+        let fractions = cluster.running_allocation_fractions();
+        assert!(fractions.iter().any(|(_, f)| *f < 1.0));
+    }
+
+    #[test]
+    fn rejects_when_nothing_can_be_reclaimed() {
+        let mut cluster = small_cluster(deflation_mode());
+        for i in 0..4 {
+            let od = VmSpec::on_demand(
+                VmId(i),
+                VmClass::Unknown,
+                ResourceVector::cpu_mem(16_000.0, 32_768.0),
+            );
+            // Two fit (one per server), two are rejected.
+            cluster.place_vm(od);
+        }
+        let result = cluster.place_vm(vm(10, 4.0, 0.5));
+        assert_eq!(result, PlacementResult::Rejected);
+        assert!(cluster.counters().rejected >= 1);
+    }
+
+    #[test]
+    fn preemption_mode_kills_low_priority_vms() {
+        let mut cluster = small_cluster(ReclamationMode::Preemption);
+        for i in 0..4 {
+            assert!(cluster.place_vm(vm(i, 8.0, 0.2)).is_placed());
+        }
+        let result = cluster.place_vm(vm(10, 8.0, 0.9));
+        match result {
+            PlacementResult::PlacedWithPreemption { preempted, .. } => {
+                assert!(!preempted.is_empty());
+                // Preempted VMs are gone from the location map.
+                for vm in &preempted {
+                    assert!(cluster.locate(*vm).is_none());
+                }
+            }
+            other => panic!("expected preemption, got {other:?}"),
+        }
+        assert!(cluster.counters().preempted_vms >= 1);
+        assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn departures_reinflate_and_allow_reuse() {
+        let mut cluster = small_cluster(deflation_mode());
+        for i in 0..5 {
+            assert!(cluster.place_vm(vm(i, 8.0, 0.5)).is_placed());
+        }
+        // Remove two VMs; the rest should reinflate back to full size.
+        cluster.remove_vm(VmId(0)).unwrap();
+        cluster.remove_vm(VmId(1)).unwrap();
+        let fractions = cluster.running_allocation_fractions();
+        assert_eq!(fractions.len(), 3);
+        assert!(fractions.iter().all(|(_, f)| (*f - 1.0).abs() < 1e-6));
+        // Removing an unknown VM errors.
+        assert!(cluster.remove_vm(VmId(99)).is_err());
+    }
+
+    #[test]
+    fn locate_and_allocation_fraction() {
+        let mut cluster = small_cluster(deflation_mode());
+        cluster.place_vm(vm(1, 4.0, 0.5));
+        assert!(cluster.locate(VmId(1)).is_some());
+        assert_eq!(cluster.cpu_allocation_fraction(VmId(1)), Some(1.0));
+        assert_eq!(cluster.cpu_allocation_fraction(VmId(42)), None);
+    }
+
+    #[test]
+    fn names_and_config() {
+        assert_eq!(PlacementKind::CosineFitness.name(), "cosine-fitness");
+        assert_eq!(PlacementKind::FirstFit.name(), "first-fit");
+        assert_eq!(deflation_mode().name(), "proportional-min-aware");
+        assert_eq!(ReclamationMode::Preemption.name(), "preemption");
+        let cfg = ClusterConfig::paper_default(40);
+        assert_eq!(cfg.num_servers, 40);
+        assert_eq!(cfg.server_capacity.cpu(), 48_000.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Trace-driven discrete-event cluster simulation (§7.1.2, §7.4).
+//!
+//! The simulator replays a VM workload (arrival time, departure time, size,
+//! CPU-utilisation history — normally derived from the synthetic Azure trace)
+//! against a [`ClusterManager`], recording for every VM when it was admitted,
+//! rejected or preempted and how its CPU allocation changed over time. The
+//! resulting [`SimResult`] yields the three cluster-level metrics of §7.4:
+//! reclamation-failure probability (Figure 20), throughput loss (Figure 21)
+//! and revenue (Figure 22).
+
+use crate::manager::{ClusterConfig, ClusterManager, PlacementResult, ReclamationMode};
+use crate::metrics::{SimResult, VmOutcome, VmRecord};
+use crate::spec::WorkloadVm;
+use deflate_core::vm::VmId;
+use std::collections::HashMap;
+
+/// One simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// A VM (index into the workload) arrives.
+    Arrival(usize),
+    /// A VM (index into the workload) departs.
+    Departure(usize),
+}
+
+/// The trace-driven cluster simulator.
+pub struct ClusterSimulation {
+    config: ClusterConfig,
+    mode: ReclamationMode,
+}
+
+impl ClusterSimulation {
+    /// Create a simulation with the given cluster configuration and
+    /// reclamation mode.
+    pub fn new(config: ClusterConfig, mode: ReclamationMode) -> Self {
+        ClusterSimulation { config, mode }
+    }
+
+    /// Replay the workload and return the per-VM records and aggregate
+    /// counters.
+    pub fn run(&self, workload: &[WorkloadVm]) -> SimResult {
+        let mut manager = ClusterManager::new(&self.config, self.mode.clone());
+
+        // Build the event list: departures sort before arrivals at the same
+        // timestamp so back-to-back VMs do not artificially overlap.
+        let mut events: Vec<(f64, u8, Event)> = Vec::with_capacity(workload.len() * 2);
+        for (i, vm) in workload.iter().enumerate() {
+            events.push((vm.arrival_secs, 1, Event::Arrival(i)));
+            events.push((vm.departure_secs, 0, Event::Departure(i)));
+        }
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+
+        // Working state.
+        let index_of: HashMap<VmId, usize> = workload
+            .iter()
+            .enumerate()
+            .map(|(i, vm)| (vm.spec.id, i))
+            .collect();
+        let mut records: Vec<VmRecord> = workload
+            .iter()
+            .map(|vm| VmRecord {
+                spec: vm.spec.clone(),
+                arrival_secs: vm.arrival_secs,
+                departure_secs: vm.departure_secs,
+                outcome: VmOutcome::Rejected,
+                allocation_history: Vec::new(),
+                cpu_util: vm.cpu_util.clone(),
+            })
+            .collect();
+        let mut running: Vec<bool> = vec![false; workload.len()];
+
+        for (time, _, event) in events {
+            match event {
+                Event::Arrival(i) => {
+                    let result = manager.place_vm(workload[i].spec.clone());
+                    let touched_server = match result {
+                        PlacementResult::Rejected => {
+                            records[i].outcome = VmOutcome::Rejected;
+                            None
+                        }
+                        PlacementResult::PlacedWithPreemption {
+                            server,
+                            ref preempted,
+                        } => {
+                            records[i].outcome = VmOutcome::Completed;
+                            running[i] = true;
+                            for victim in preempted {
+                                if let Some(&vi) = index_of.get(victim) {
+                                    records[vi].outcome =
+                                        VmOutcome::Preempted { at_secs: time };
+                                    running[vi] = false;
+                                }
+                            }
+                            Some(server)
+                        }
+                        PlacementResult::Placed { server }
+                        | PlacementResult::PlacedWithDeflation { server, .. } => {
+                            records[i].outcome = VmOutcome::Completed;
+                            running[i] = true;
+                            Some(server)
+                        }
+                    };
+                    if let Some(server) = touched_server {
+                        Self::record_allocations(
+                            &manager, server, &index_of, &mut records, &running, time,
+                        );
+                    }
+                }
+                Event::Departure(i) => {
+                    if running[i] {
+                        let server = manager.locate(workload[i].spec.id);
+                        let _ = manager.remove_vm(workload[i].spec.id);
+                        running[i] = false;
+                        if let Some(server) = server {
+                            Self::record_allocations(
+                                &manager, server, &index_of, &mut records, &running, time,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        debug_assert!(manager.check_invariants());
+        let overcommitment = crate::spec::overcommitment_of(
+            workload,
+            self.config.server_capacity,
+            self.config.num_servers,
+        );
+        SimResult {
+            records,
+            counters: manager.counters(),
+            num_servers: self.config.num_servers,
+            overcommitment,
+            policy_name: self.mode.name().to_string(),
+        }
+    }
+
+    /// Append allocation change-points for every VM on the touched server
+    /// whose CPU fraction changed since the last recorded value.
+    fn record_allocations(
+        manager: &ClusterManager,
+        server: deflate_core::vm::ServerId,
+        index_of: &HashMap<VmId, usize>,
+        records: &mut [VmRecord],
+        running: &[bool],
+        time: f64,
+    ) {
+        for (vm, fraction) in manager.allocation_fractions_on(server) {
+            let Some(&i) = index_of.get(&vm) else { continue };
+            if !running[i] {
+                continue;
+            }
+            let history = &mut records[i].allocation_history;
+            match history.last() {
+                Some(&(_, last)) if (last - fraction).abs() < 1e-9 => {}
+                _ => history.push((time, fraction)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::PlacementKind;
+    use crate::spec::{workload_from_azure, MinAllocationRule};
+    use deflate_core::placement::PartitionScheme;
+    use deflate_core::policy::{DeterministicDeflation, PriorityDeflation, ProportionalDeflation};
+    use deflate_core::resources::ResourceVector;
+    use deflate_hypervisor::domain::DeflationMechanism;
+    use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
+    use std::sync::Arc;
+
+    fn small_workload(num_vms: usize, seed: u64) -> Vec<crate::spec::WorkloadVm> {
+        let traces = AzureTraceGenerator::generate(&AzureTraceConfig {
+            num_vms,
+            duration_hours: 12.0,
+            seed,
+            ..Default::default()
+        });
+        workload_from_azure(&traces, MinAllocationRule::None)
+    }
+
+    fn config(num_servers: usize) -> ClusterConfig {
+        ClusterConfig {
+            num_servers,
+            server_capacity: ResourceVector::cpu_mem(48_000.0, 131_072.0),
+            placement: PlacementKind::CosineFitness,
+            partitions: PartitionScheme::None,
+            mechanism: DeflationMechanism::Transparent,
+        }
+    }
+
+    fn proportional() -> ReclamationMode {
+        ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default()))
+    }
+
+    #[test]
+    fn uncontended_cluster_admits_everything_with_no_loss() {
+        let workload = small_workload(150, 11);
+        let servers = crate::spec::min_cluster_size(
+            &workload,
+            ResourceVector::cpu_mem(48_000.0, 131_072.0),
+        );
+        let sim = ClusterSimulation::new(config(servers), proportional());
+        let result = sim.run(&workload);
+        assert_eq!(result.records.len(), workload.len());
+        assert!(result.failure_probability() < 0.02);
+        assert!(result.mean_throughput_loss() < 0.01);
+        assert!(result.counters.attempts() >= workload.len());
+    }
+
+    #[test]
+    fn overcommitted_cluster_deflates_instead_of_failing() {
+        let workload = small_workload(200, 13);
+        let baseline = crate::spec::min_cluster_size(
+            &workload,
+            ResourceVector::cpu_mem(48_000.0, 131_072.0),
+        );
+        let shrunk = (baseline as f64 / 1.5).floor().max(1.0) as usize;
+        let sim = ClusterSimulation::new(config(shrunk), proportional());
+        let result = sim.run(&workload);
+        // Deflation happened.
+        assert!(result.counters.admitted_with_deflation > 0 || result.deflated_vm_fraction() > 0.0);
+        // Failure probability stays far below the preemption baseline.
+        let preemption_sim =
+            ClusterSimulation::new(config(shrunk), ReclamationMode::Preemption);
+        let preemption = preemption_sim.run(&workload);
+        assert!(
+            result.failure_probability() <= preemption.failure_probability(),
+            "deflation failures {} should not exceed preemption failures {}",
+            result.failure_probability(),
+            preemption.failure_probability()
+        );
+        // Throughput loss is modest at ~50% overcommitment (Figure 21).
+        assert!(
+            result.mean_throughput_loss() < 0.10,
+            "throughput loss {}",
+            result.mean_throughput_loss()
+        );
+    }
+
+    #[test]
+    fn policies_are_all_runnable() {
+        let workload = small_workload(100, 17);
+        let servers = (crate::spec::min_cluster_size(
+            &workload,
+            ResourceVector::cpu_mem(48_000.0, 131_072.0),
+        ) as f64
+            / 1.4)
+            .floor()
+            .max(1.0) as usize;
+        for mode in [
+            ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default())),
+            ReclamationMode::Deflation(Arc::new(PriorityDeflation::default())),
+            ReclamationMode::Deflation(Arc::new(DeterministicDeflation::binary())),
+            ReclamationMode::Preemption,
+        ] {
+            let name = mode.name().to_string();
+            let sim = ClusterSimulation::new(config(servers), mode);
+            let result = sim.run(&workload);
+            assert_eq!(result.policy_name, name);
+            assert!(result.failure_probability() <= 1.0);
+            assert!(result.mean_throughput_loss() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn allocation_histories_start_at_admission() {
+        let workload = small_workload(80, 23);
+        let servers = crate::spec::min_cluster_size(
+            &workload,
+            ResourceVector::cpu_mem(48_000.0, 131_072.0),
+        );
+        let sim = ClusterSimulation::new(config(servers), proportional());
+        let result = sim.run(&workload);
+        for record in result
+            .records
+            .iter()
+            .filter(|r| matches!(r.outcome, VmOutcome::Completed))
+        {
+            assert!(!record.allocation_history.is_empty());
+            let (t0, f0) = record.allocation_history[0];
+            assert!(t0 >= record.arrival_secs - 1e-9);
+            assert!(f0 > 0.0 && f0 <= 1.0 + 1e-9);
+            // Histories are time-ordered.
+            for w in record.allocation_history.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_placement_runs() {
+        let workload = small_workload(120, 29);
+        let baseline = crate::spec::min_cluster_size(
+            &workload,
+            ResourceVector::cpu_mem(48_000.0, 131_072.0),
+        );
+        let mut cfg = config((baseline as f64 / 1.3).floor().max(2.0) as usize);
+        cfg.partitions = PartitionScheme::ByPriority { pools: 2 };
+        let sim = ClusterSimulation::new(cfg, proportional());
+        let result = sim.run(&workload);
+        assert!(result.failure_probability() <= 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types shared across the workspace.
+
+use crate::resources::ResourceKind;
+use crate::vm::{ServerId, VmId};
+use std::fmt;
+
+/// Errors produced by deflation policies, placement, and the hypervisor
+/// substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeflateError {
+    /// A VM specification was internally inconsistent.
+    InvalidSpec {
+        /// Offending VM.
+        vm: VmId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A policy was asked to reclaim more than the deflatable pool can yield.
+    InsufficientDeflatableCapacity {
+        /// Resource dimension that fell short.
+        kind: ResourceKind,
+        /// Amount requested.
+        requested: f64,
+        /// Amount available for reclamation.
+        available: f64,
+    },
+    /// Placement could not find a feasible server for a VM.
+    PlacementFailed {
+        /// VM that could not be placed.
+        vm: VmId,
+    },
+    /// A VM was not found where it was expected (server or cluster map).
+    UnknownVm(VmId),
+    /// A server was not found in the cluster map.
+    UnknownServer(ServerId),
+    /// A hotplug operation was rejected by the (simulated) guest OS.
+    HotplugRejected {
+        /// VM whose guest OS rejected the operation.
+        vm: VmId,
+        /// Resource dimension of the operation.
+        kind: ResourceKind,
+        /// Reason for rejection.
+        reason: String,
+    },
+    /// A hypervisor operation referenced an allocation outside valid bounds.
+    InvalidAllocation {
+        /// Offending VM.
+        vm: VmId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Admission control rejected a VM (e.g. a full partition, §5.2.1).
+    AdmissionRejected {
+        /// VM that was rejected.
+        vm: VmId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DeflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeflateError::InvalidSpec { vm, reason } => {
+                write!(f, "invalid spec for {vm}: {reason}")
+            }
+            DeflateError::InsufficientDeflatableCapacity {
+                kind,
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot reclaim {requested:.1} {unit} of {kind}: only {available:.1} deflatable",
+                unit = kind.unit()
+            ),
+            DeflateError::PlacementFailed { vm } => write!(f, "no feasible server for {vm}"),
+            DeflateError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
+            DeflateError::UnknownServer(s) => write!(f, "unknown server {s}"),
+            DeflateError::HotplugRejected { vm, kind, reason } => {
+                write!(f, "hotplug of {kind} rejected for {vm}: {reason}")
+            }
+            DeflateError::InvalidAllocation { vm, reason } => {
+                write!(f, "invalid allocation for {vm}: {reason}")
+            }
+            DeflateError::AdmissionRejected { vm, reason } => {
+                write!(f, "admission rejected for {vm}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeflateError {}
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DeflateError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DeflateError::InsufficientDeflatableCapacity {
+            kind: ResourceKind::Cpu,
+            requested: 100.0,
+            available: 10.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("100.0"));
+        assert!(msg.contains("millicores"));
+
+        let e = DeflateError::HotplugRejected {
+            vm: VmId(9),
+            kind: ResourceKind::Memory,
+            reason: "below RSS".into(),
+        };
+        assert!(e.to_string().contains("vm-9"));
+        assert!(e.to_string().contains("below RSS"));
+
+        let e = DeflateError::PlacementFailed { vm: VmId(1) };
+        assert!(e.to_string().contains("vm-1"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DeflateError::UnknownVm(VmId(5)));
+        assert!(e.to_string().contains("vm-5"));
+    }
+}

@@ -1,0 +1,77 @@
+//! # deflate-core
+//!
+//! Core model of **VM deflation** — the primary contribution of
+//! *"Cloud-scale VM Deflation for Running Interactive Applications On
+//! Transient Servers"* (Fuerst et al., HPDC 2020).
+//!
+//! Deflation fractionally reclaims resources from low-priority "deflatable"
+//! VMs instead of preempting them, letting interactive applications keep
+//! running (slower) under resource pressure. This crate contains the pieces
+//! of that idea that are independent of any particular hypervisor or
+//! simulator:
+//!
+//! * [`resources`] — multi-dimensional [`ResourceVector`]s over CPU, memory,
+//!   disk bandwidth and network bandwidth.
+//! * [`vm`] — VM specifications, priorities `π ∈ (0, 1]`, workload classes
+//!   and allocation state.
+//! * [`perfmodel`] — the slack / linear / knee performance-response model of
+//!   §3.1.
+//! * [`policy`] — server-level deflation policies: proportional (Eq 1–2),
+//!   priority-weighted (Eq 3–4) and deterministic, plus reinflation.
+//! * [`placement`] — deflation-aware placement: cosine fitness, bin-packing
+//!   baselines and cluster partitions (§5.2).
+//! * [`pricing`] — static, priority-based and allocation-based pricing
+//!   (§5.2.2) and the revenue accounting behind Figure 22.
+//!
+//! The simulated hypervisor substrate lives in `deflate-hypervisor`, the
+//! cluster manager and discrete-event simulator in `deflate-cluster`.
+//!
+//! ## Example
+//!
+//! ```
+//! use deflate_core::policy::{DeflationPolicy, ProportionalDeflation, VmResourceState};
+//! use deflate_core::vm::VmId;
+//!
+//! // Two deflatable VMs with 8 and 24 GiB of memory; reclaim 8 GiB.
+//! let vms = [
+//!     VmResourceState { id: VmId(1), max: 8.0, min: 0.0, current: 8.0, priority: 0.5 },
+//!     VmResourceState { id: VmId(2), max: 24.0, min: 0.0, current: 24.0, priority: 0.5 },
+//! ];
+//! let plan = ProportionalDeflation::by_size().plan(&vms, 8.0);
+//! assert!(plan.satisfied());
+//! // The larger VM gives up three quarters of the demand.
+//! assert_eq!(plan.target_for(VmId(2)), Some(18.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod perfmodel;
+pub mod placement;
+pub mod policy;
+pub mod pricing;
+pub mod resources;
+pub mod vm;
+
+pub use error::{DeflateError, Result};
+pub use perfmodel::PerfModel;
+pub use resources::{ResourceKind, ResourceVector};
+pub use vm::{Priority, ServerId, VmAllocation, VmClass, VmId, VmSpec};
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::error::{DeflateError, Result};
+    pub use crate::perfmodel::PerfModel;
+    pub use crate::placement::{
+        BestFit, CosineFitness, FirstFit, PartitionScheme, PartitionedPlacement, PlacementPolicy,
+        ServerView, WorstFit,
+    };
+    pub use crate::policy::{
+        AllocationView, DeflationPolicy, DeterministicDeflation, PriorityDeflation,
+        ProportionalDeflation, ScalarPlan, VectorPlan, VectorPlanner, VmResourceState,
+    };
+    pub use crate::pricing::{PricingPolicy, RateCard};
+    pub use crate::resources::{ResourceKind, ResourceVector};
+    pub use crate::vm::{Priority, ServerId, VmAllocation, VmClass, VmId, VmSpec};
+}

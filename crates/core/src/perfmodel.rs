@@ -1,0 +1,232 @@
+//! Abstract application-performance model under deflation (§3.1, Figure 2).
+//!
+//! The paper models an application's normalized performance as a function of
+//! the deflation fraction with three regions:
+//!
+//! 1. **Slack** — reclaiming unused resources has negligible impact
+//!    (horizontal part of the curve).
+//! 2. **Linear** (possibly sub- or super-linear) — past the slack point,
+//!    performance degrades roughly in proportion to further deflation.
+//! 3. **Knee** — beyond the knee, performance drops precipitously because the
+//!    remaining allocation is insufficient.
+//!
+//! [`PerfModel`] captures these regions with a handful of parameters and is
+//! used (a) by the application simulators in `deflate-appsim` to produce
+//! Figure 3/14-style curves, and (b) by the cluster simulator's throughput
+//! accounting, which conservatively assumes the *worst-case linear*
+//! relationship between deflation and performance (§5: "Our policies assume
+//! the worst-case linear correlation between deflation and performance").
+
+use serde::{Deserialize, Serialize};
+
+/// Piecewise performance-response model: normalized performance in `[0, 1]`
+/// as a function of deflation fraction in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// Deflation fraction up to which performance is unaffected (the slack
+    /// region width). `0.0` means no slack at all (e.g. SpecJBB in Fig 3).
+    pub slack: f64,
+    /// Deflation fraction at which the knee occurs; must be `>= slack`.
+    pub knee: f64,
+    /// Normalized performance remaining at the knee point. Performance
+    /// degrades from `1.0` at the end of the slack region to `perf_at_knee`
+    /// at the knee.
+    pub perf_at_knee: f64,
+    /// Exponent shaping the degradation between slack and knee: `1.0` is
+    /// linear, `< 1.0` is sub-linear ("a certain reduction in allocated
+    /// resources yields proportionately less performance slowdown"),
+    /// `> 1.0` is super-linear (less elastic applications).
+    pub elasticity: f64,
+    /// Normalized performance when fully deflated (deflation = 1.0).
+    /// Performance collapses from `perf_at_knee` towards this value beyond
+    /// the knee.
+    pub perf_at_full_deflation: f64,
+}
+
+impl PerfModel {
+    /// Worst-case linear model used by the cluster-level policies: no slack,
+    /// performance proportional to the remaining allocation.
+    pub const WORST_CASE_LINEAR: PerfModel = PerfModel {
+        slack: 0.0,
+        knee: 1.0,
+        perf_at_knee: 0.0,
+        elasticity: 1.0,
+        perf_at_full_deflation: 0.0,
+    };
+
+    /// Construct a model, clamping parameters into their valid ranges and
+    /// enforcing `slack <= knee`.
+    pub fn new(slack: f64, knee: f64, perf_at_knee: f64, elasticity: f64) -> Self {
+        let slack = slack.clamp(0.0, 1.0);
+        let knee = knee.clamp(slack, 1.0);
+        PerfModel {
+            slack,
+            knee,
+            perf_at_knee: perf_at_knee.clamp(0.0, 1.0),
+            elasticity: elasticity.max(0.05),
+            perf_at_full_deflation: 0.0,
+        }
+    }
+
+    /// Builder-style setter for the performance floor at 100 % deflation.
+    pub fn with_floor(mut self, perf_at_full_deflation: f64) -> Self {
+        self.perf_at_full_deflation = perf_at_full_deflation.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Normalized performance (throughput relative to the undeflated
+    /// configuration) at the given deflation fraction.
+    ///
+    /// The result is monotonically non-increasing in `deflation` and always
+    /// lies in `[0, 1]`.
+    pub fn performance(&self, deflation: f64) -> f64 {
+        let d = deflation.clamp(0.0, 1.0);
+        if d <= self.slack {
+            return 1.0;
+        }
+        if d <= self.knee {
+            // Degrade from 1.0 at `slack` to `perf_at_knee` at `knee`, shaped
+            // by the elasticity exponent.
+            let span = (self.knee - self.slack).max(f64::EPSILON);
+            let t = ((d - self.slack) / span).clamp(0.0, 1.0);
+            let drop = 1.0 - self.perf_at_knee;
+            return 1.0 - drop * t.powf(self.elasticity);
+        }
+        // Beyond the knee performance collapses steeply (quadratically in the
+        // residual deflation headroom) towards the floor.
+        let span = (1.0 - self.knee).max(f64::EPSILON);
+        let t = ((d - self.knee) / span).clamp(0.0, 1.0);
+        let start = self.perf_at_knee;
+        let end = self.perf_at_full_deflation.min(start);
+        (start - (start - end) * (1.0 - (1.0 - t) * (1.0 - t))).max(0.0)
+    }
+
+    /// Normalized slowdown factor (`1 / performance`), saturating at `cap`
+    /// when performance approaches zero. Useful for converting a throughput
+    /// model into a response-time multiplier for interactive applications.
+    pub fn slowdown(&self, deflation: f64, cap: f64) -> f64 {
+        let p = self.performance(deflation);
+        if p <= 1.0 / cap {
+            cap
+        } else {
+            1.0 / p
+        }
+    }
+
+    /// The largest deflation fraction that keeps performance at or above
+    /// `target` (found by bisection; the curve is monotone).
+    pub fn max_deflation_for_performance(&self, target: f64) -> f64 {
+        let target = target.clamp(0.0, 1.0);
+        if self.performance(1.0) >= target {
+            return 1.0;
+        }
+        if self.performance(0.0) < target {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.performance(mid) >= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+impl Default for PerfModel {
+    /// A generic well-behaved interactive application: 30 % slack, knee at
+    /// 80 % deflation, modest degradation in between.
+    fn default() -> Self {
+        PerfModel::new(0.3, 0.8, 0.7, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_region_is_flat() {
+        let m = PerfModel::new(0.4, 0.8, 0.5, 1.0);
+        assert_eq!(m.performance(0.0), 1.0);
+        assert_eq!(m.performance(0.2), 1.0);
+        assert_eq!(m.performance(0.4), 1.0);
+        assert!(m.performance(0.41) < 1.0);
+    }
+
+    #[test]
+    fn linear_region_interpolates() {
+        let m = PerfModel::new(0.0, 1.0, 0.0, 1.0);
+        assert!((m.performance(0.5) - 0.5).abs() < 1e-9);
+        assert!((m.performance(0.25) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_linear_matches_remaining_allocation() {
+        let m = PerfModel::WORST_CASE_LINEAR;
+        for i in 0..=10 {
+            let d = i as f64 / 10.0;
+            assert!((m.performance(d) - (1.0 - d)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_non_increasing() {
+        let models = [
+            PerfModel::default(),
+            PerfModel::new(0.0, 0.3, 0.9, 2.0),
+            PerfModel::new(0.5, 0.6, 0.2, 0.5).with_floor(0.1),
+        ];
+        for m in models {
+            let mut prev = f64::INFINITY;
+            for i in 0..=100 {
+                let p = m.performance(i as f64 / 100.0);
+                assert!(p <= prev + 1e-12, "not monotone at {i} for {m:?}");
+                assert!((0.0..=1.0).contains(&p));
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn knee_causes_steep_drop() {
+        let m = PerfModel::new(0.3, 0.7, 0.8, 1.0);
+        let before = m.performance(0.7);
+        let after = m.performance(0.85);
+        assert!(before - after > 0.2, "expected steep post-knee drop");
+    }
+
+    #[test]
+    fn slowdown_saturates() {
+        let m = PerfModel::new(0.0, 0.5, 0.1, 1.0);
+        assert_eq!(m.slowdown(0.0, 100.0), 1.0);
+        assert!(m.slowdown(1.0, 100.0) <= 100.0);
+    }
+
+    #[test]
+    fn max_deflation_for_performance_is_inverse() {
+        let m = PerfModel::new(0.3, 0.9, 0.5, 1.0);
+        let d = m.max_deflation_for_performance(0.75);
+        assert!((m.performance(d) - 0.75).abs() < 1e-3);
+        // Any target below the floor is achievable at full deflation.
+        assert_eq!(
+            PerfModel::new(0.0, 1.0, 0.9, 1.0).max_deflation_for_performance(0.5),
+            1.0
+        );
+        // A target of 1.0 is achievable up to the slack point.
+        let d1 = m.max_deflation_for_performance(1.0);
+        assert!((d1 - 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parameters_are_clamped() {
+        let m = PerfModel::new(1.5, 0.2, 2.0, -1.0);
+        assert!(m.slack <= 1.0);
+        assert!(m.knee >= m.slack);
+        assert!(m.perf_at_knee <= 1.0);
+        assert!(m.elasticity > 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Classic bin-packing placement baselines (§5.2 mentions best-fit and
+//! first-fit as the conventional policies for non-deflatable VMs).
+//!
+//! These serve both as baselines for the fitness-based policy and as the
+//! packing policy inside cluster partitions. "Fit" is measured on the
+//! availability vector (free + deflatable/overcommitment), so the baselines
+//! are also deflation-aware; setting a server's `deflatable` headroom to zero
+//! recovers the conventional non-deflatable behaviour.
+
+use super::{pick_best, PlacementDecision, PlacementPolicy, ServerView};
+use crate::vm::VmSpec;
+use serde::{Deserialize, Serialize};
+
+/// First-fit: choose the first (lowest-id) feasible server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn place(&self, vm: &VmSpec, servers: &[ServerView]) -> Option<PlacementDecision> {
+        let demand = vm.max_allocation;
+        servers
+            .iter()
+            .find(|s| s.can_accommodate(&demand))
+            .map(|s| PlacementDecision {
+                server: s.id,
+                score: 0.0,
+                requires_deflation: !s.fits_without_deflation(&demand),
+            })
+    }
+}
+
+/// Best-fit: choose the feasible server with the *least* remaining
+/// availability after placement (tightest fit), measured by the total of the
+/// availability vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BestFit;
+
+impl PlacementPolicy for BestFit {
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+
+    fn place(&self, vm: &VmSpec, servers: &[ServerView]) -> Option<PlacementDecision> {
+        let demand = vm.max_allocation;
+        pick_best(vm, servers, |s| {
+            // Smaller leftover == better, so negate for pick_best's argmax.
+            -(s.availability().saturating_sub(&demand).total())
+        })
+    }
+}
+
+/// Worst-fit: choose the feasible server with the *most* remaining
+/// availability (spreads load, reduces interference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WorstFit;
+
+impl PlacementPolicy for WorstFit {
+    fn name(&self) -> &'static str {
+        "worst-fit"
+    }
+
+    fn place(&self, vm: &VmSpec, servers: &[ServerView]) -> Option<PlacementDecision> {
+        let demand = vm.max_allocation;
+        pick_best(vm, servers, |s| {
+            s.availability().saturating_sub(&demand).total()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceVector;
+    use crate::vm::{ServerId, VmClass, VmId};
+
+    fn server(id: u32, free_cpu: f64, free_mem: f64) -> ServerView {
+        let total = ResourceVector::cpu_mem(48_000.0, 131_072.0);
+        ServerView {
+            id: ServerId(id),
+            total,
+            used: total.saturating_sub(&ResourceVector::cpu_mem(free_cpu, free_mem)),
+            deflatable: ResourceVector::ZERO,
+            overcommitment: 1.0,
+            partition: None,
+        }
+    }
+
+    fn vm(cpu: f64, mem: f64) -> VmSpec {
+        VmSpec::deflatable(
+            VmId(7),
+            VmClass::Interactive,
+            ResourceVector::cpu_mem(cpu, mem),
+        )
+    }
+
+    #[test]
+    fn first_fit_takes_first_feasible() {
+        let servers = vec![
+            server(1, 1_000.0, 1_024.0),
+            server(2, 10_000.0, 16_384.0),
+            server(3, 40_000.0, 100_000.0),
+        ];
+        let d = FirstFit.place(&vm(8_000.0, 8_192.0), &servers).unwrap();
+        assert_eq!(d.server, ServerId(2));
+    }
+
+    #[test]
+    fn best_fit_takes_tightest() {
+        let servers = vec![server(1, 40_000.0, 100_000.0), server(2, 9_000.0, 9_000.0)];
+        let d = BestFit.place(&vm(8_000.0, 8_192.0), &servers).unwrap();
+        assert_eq!(d.server, ServerId(2));
+    }
+
+    #[test]
+    fn worst_fit_takes_emptiest() {
+        let servers = vec![server(1, 40_000.0, 100_000.0), server(2, 9_000.0, 9_000.0)];
+        let d = WorstFit.place(&vm(8_000.0, 8_192.0), &servers).unwrap();
+        assert_eq!(d.server, ServerId(1));
+    }
+
+    #[test]
+    fn all_return_none_when_infeasible() {
+        let servers = vec![server(1, 1_000.0, 1_024.0)];
+        let big = vm(2_000.0, 2_048.0);
+        assert!(FirstFit.place(&big, &servers).is_none());
+        assert!(BestFit.place(&big, &servers).is_none());
+        assert!(WorstFit.place(&big, &servers).is_none());
+    }
+
+    #[test]
+    fn deflatable_headroom_counts_as_capacity() {
+        let mut s = server(1, 1_000.0, 1_024.0);
+        s.deflatable = ResourceVector::cpu_mem(8_000.0, 8_192.0);
+        let d = FirstFit.place(&vm(4_000.0, 4_096.0), &[s]).unwrap();
+        assert!(d.requires_deflation);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FirstFit.name(), "first-fit");
+        assert_eq!(BestFit.name(), "best-fit");
+        assert_eq!(WorstFit.name(), "worst-fit");
+    }
+}

@@ -1,0 +1,428 @@
+//! Server-level deflation policies (§5.1).
+//!
+//! A deflation policy answers one question: *given a set of deflatable VMs on
+//! a server and an amount `R` of one resource that must be reclaimed (or, for
+//! reinflation, returned), how much does each VM give up (or get back)?*
+//!
+//! The paper proposes three families of policies, all implemented here:
+//!
+//! * [`ProportionalDeflation`](proportional::ProportionalDeflation) — Eq 1
+//!   (plain) and Eq 2 (minimum-allocation aware).
+//! * [`PriorityDeflation`](priority::PriorityDeflation) — weighted
+//!   proportional deflation, Eq 3 and Eq 4.
+//! * [`DeterministicDeflation`](deterministic::DeterministicDeflation) —
+//!   binary, priority-ordered deflation to pre-specified levels.
+//!
+//! Policies are *scalar*: they operate on one [`ResourceKind`] at a time,
+//! because "the proportional deflation is performed for each resource (CPU,
+//! memory, disk bandwidth, network bandwidth) individually" (§5.1.1). The
+//! [`VectorPlanner`] lifts any scalar policy to full [`ResourceVector`]s.
+//!
+//! Reinflation (§5.1.3 "Reinflation") is expressed by calling
+//! [`DeflationPolicy::plan`] with a *negative* demand: the policy runs
+//! backwards and distributes the freed resources across previously deflated
+//! VMs.
+
+pub mod deterministic;
+pub mod priority;
+pub mod proportional;
+
+pub use deterministic::DeterministicDeflation;
+pub use priority::PriorityDeflation;
+pub use proportional::ProportionalDeflation;
+
+use crate::resources::{ResourceKind, ResourceVector};
+use crate::vm::{VmAllocation, VmId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-VM, per-resource state a scalar policy needs to make its decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmResourceState {
+    /// VM identity.
+    pub id: VmId,
+    /// Original, undeflated allocation `M_i` of this resource.
+    pub max: f64,
+    /// Minimum allocation `m_i` (0 when the VM has no QoS floor).
+    pub min: f64,
+    /// Currently granted allocation (between `min` and `max`).
+    pub current: f64,
+    /// Deflation priority `π_i ∈ (0, 1]`; lower means more deflatable.
+    pub priority: f64,
+}
+
+impl VmResourceState {
+    /// Resources that can still be reclaimed from this VM.
+    #[inline]
+    pub fn deflatable_headroom(&self) -> f64 {
+        (self.current - self.min).max(0.0)
+    }
+
+    /// Resources that can still be returned to this VM.
+    #[inline]
+    pub fn reinflatable_headroom(&self) -> f64 {
+        (self.max - self.current).max(0.0)
+    }
+
+    /// Deflatable span `M_i − m_i` regardless of the current allocation; this
+    /// is the `D_i` term in Eq 2 and Eq 4.
+    #[inline]
+    pub fn deflatable_span(&self) -> f64 {
+        (self.max - self.min).max(0.0)
+    }
+}
+
+/// Outcome of a scalar planning step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalarPlan {
+    /// Resource kind this plan applies to (informational).
+    pub kind: Option<ResourceKind>,
+    /// New allocation target for each VM, in the same order as the input.
+    pub targets: Vec<(VmId, f64)>,
+    /// Total amount reclaimed (positive) or returned (negative).
+    pub reclaimed: f64,
+    /// Demand that could not be satisfied because the deflatable (or
+    /// reinflatable) headroom ran out. Zero on success.
+    pub shortfall: f64,
+}
+
+impl ScalarPlan {
+    /// True when the full demand was satisfied.
+    #[inline]
+    pub fn satisfied(&self) -> bool {
+        self.shortfall.abs() <= 1e-6
+    }
+
+    /// Look up the planned allocation for a VM.
+    pub fn target_for(&self, vm: VmId) -> Option<f64> {
+        self.targets.iter().find(|(id, _)| *id == vm).map(|(_, t)| *t)
+    }
+}
+
+/// A server-level deflation policy operating on a single resource dimension.
+pub trait DeflationPolicy: Send + Sync {
+    /// Short policy name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Compute new allocation targets so that `demand` units of the resource
+    /// are reclaimed from (positive demand) or returned to (negative demand)
+    /// the given VMs.
+    ///
+    /// Invariants every implementation upholds:
+    /// * each target lies in `[min, max]` of its VM;
+    /// * `sum(current − target) == demand − shortfall` (up to rounding);
+    /// * `shortfall` is non-negative for deflation and non-positive for
+    ///   reinflation, and zero when the demand was fully met.
+    fn plan(&self, vms: &[VmResourceState], demand: f64) -> ScalarPlan;
+}
+
+/// Distribute `demand ≥ 0` across VMs proportionally to `weights`, honouring
+/// each VM's headroom, using iterative water-filling.
+///
+/// Returns the per-VM reclaim amounts (same order as `vms`) and the
+/// unsatisfied remainder. This is the computational core shared by the
+/// proportional and priority-weighted policies once their per-VM weights have
+/// been fixed: the paper's closed-form α only applies when no VM hits its
+/// bound, so the water-filling loop re-solves the closed form over the
+/// unsaturated set until a fixed point is reached.
+pub(crate) fn weighted_fill(
+    headrooms: &[f64],
+    weights: &[f64],
+    demand: f64,
+) -> (Vec<f64>, f64) {
+    debug_assert_eq!(headrooms.len(), weights.len());
+    let n = headrooms.len();
+    let mut take = vec![0.0f64; n];
+    if demand <= 0.0 || n == 0 {
+        return (take, demand.max(0.0));
+    }
+    let mut remaining = demand;
+    let mut active: Vec<usize> = (0..n)
+        .filter(|&i| headrooms[i] > 1e-12 && weights[i] > 0.0)
+        .collect();
+    // Each round either satisfies the remaining demand or saturates at least
+    // one VM, so the loop terminates in at most `n` rounds.
+    while remaining > 1e-9 && !active.is_empty() {
+        let total_weight: f64 = active.iter().map(|&i| weights[i]).sum();
+        if total_weight <= 0.0 {
+            break;
+        }
+        let mut saturated = Vec::new();
+        let mut progressed = false;
+        for &i in &active {
+            let share = remaining * weights[i] / total_weight;
+            let capacity = headrooms[i] - take[i];
+            let grant = share.min(capacity);
+            if grant > 0.0 {
+                take[i] += grant;
+                progressed = true;
+            }
+            if headrooms[i] - take[i] <= 1e-12 {
+                saturated.push(i);
+            }
+        }
+        let taken: f64 = take.iter().sum();
+        remaining = demand - taken;
+        if !progressed {
+            break;
+        }
+        active.retain(|i| !saturated.contains(i));
+    }
+    (take, remaining.max(0.0))
+}
+
+/// Distribute `give ≥ 0` units back to VMs proportionally to `weights`,
+/// honouring each VM's reinflatable headroom. Mirror image of
+/// [`weighted_fill`]; returns per-VM returned amounts and the surplus that
+/// could not be placed.
+pub(crate) fn weighted_return(
+    headrooms: &[f64],
+    weights: &[f64],
+    give: f64,
+) -> (Vec<f64>, f64) {
+    weighted_fill(headrooms, weights, give)
+}
+
+/// Anything that exposes a VM spec plus its currently granted allocation.
+///
+/// Implemented for [`VmAllocation`] here and for the simulated hypervisor's
+/// `Domain` type in `deflate-hypervisor`, so policies can be planned directly
+/// against either representation.
+pub trait AllocationView {
+    /// The VM's static specification.
+    fn spec(&self) -> &crate::vm::VmSpec;
+    /// The allocation the VM currently holds.
+    fn current_allocation(&self) -> ResourceVector;
+}
+
+impl AllocationView for VmAllocation {
+    fn spec(&self) -> &crate::vm::VmSpec {
+        &self.spec
+    }
+    fn current_allocation(&self) -> ResourceVector {
+        self.current()
+    }
+}
+
+impl<T: AllocationView + ?Sized> AllocationView for &T {
+    fn spec(&self) -> &crate::vm::VmSpec {
+        (**self).spec()
+    }
+    fn current_allocation(&self) -> ResourceVector {
+        (**self).current_allocation()
+    }
+}
+
+/// Builds [`VmResourceState`] slices out of full [`VmAllocation`]s and lifts a
+/// scalar policy to all four resource dimensions.
+#[derive(Debug, Clone, Default)]
+pub struct VectorPlanner;
+
+/// A full multi-resource deflation plan: one target vector per VM plus
+/// per-resource shortfalls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorPlan {
+    /// New allocation vectors keyed by VM.
+    pub targets: BTreeMap<VmId, ResourceVector>,
+    /// Total reclaimed per resource (negative when reinflating).
+    pub reclaimed: ResourceVector,
+    /// Unmet demand per resource.
+    pub shortfall: ResourceVector,
+}
+
+impl VectorPlan {
+    /// True when every resource dimension was fully satisfied.
+    pub fn satisfied(&self) -> bool {
+        self.shortfall.iter().all(|(_, v)| v.abs() <= 1e-6)
+    }
+}
+
+impl VectorPlanner {
+    /// Extract the scalar state of one resource kind from a set of VM
+    /// allocations (deflatable VMs only; non-deflatable VMs are skipped).
+    pub fn scalar_states<V: AllocationView>(vms: &[V], kind: ResourceKind) -> Vec<VmResourceState> {
+        vms.iter()
+            .filter(|vm| vm.spec().deflatable)
+            .map(|vm| VmResourceState {
+                id: vm.spec().id,
+                max: vm.spec().max_allocation[kind],
+                min: vm.spec().min_allocation[kind],
+                current: vm.current_allocation()[kind],
+                priority: vm.spec().priority.value(),
+            })
+            .collect()
+    }
+
+    /// Plan deflation (or reinflation) of every resource dimension using the
+    /// given scalar policy. `demand` holds, per resource, the amount that
+    /// must be reclaimed (positive) or can be returned (negative).
+    pub fn plan<V: AllocationView>(
+        policy: &dyn DeflationPolicy,
+        vms: &[V],
+        demand: ResourceVector,
+    ) -> VectorPlan {
+        let mut targets: BTreeMap<VmId, ResourceVector> = vms
+            .iter()
+            .filter(|vm| vm.spec().deflatable)
+            .map(|vm| (vm.spec().id, vm.current_allocation()))
+            .collect();
+        let mut reclaimed = ResourceVector::ZERO;
+        let mut shortfall = ResourceVector::ZERO;
+        for kind in ResourceKind::ALL {
+            let d = demand[kind];
+            if d.abs() <= 1e-12 {
+                continue;
+            }
+            let states = Self::scalar_states(vms, kind);
+            let plan = policy.plan(&states, d);
+            for (id, target) in &plan.targets {
+                if let Some(v) = targets.get_mut(id) {
+                    (*v)[kind] = *target;
+                }
+            }
+            reclaimed[kind] = plan.reclaimed;
+            shortfall[kind] = plan.shortfall;
+        }
+        VectorPlan {
+            targets,
+            reclaimed,
+            shortfall,
+        }
+    }
+}
+
+/// Shared plumbing for building a [`ScalarPlan`] out of per-VM reclaim /
+/// return amounts.
+///
+/// The reported `reclaimed` figure is the *actual* change in total
+/// allocation, `Σ (current − target)`, which can exceed the demand for
+/// binary policies that over-reclaim, and is negative when reinflating.
+pub(crate) fn build_plan(
+    vms: &[VmResourceState],
+    reclaim: &[f64],
+    _demand: f64,
+    shortfall: f64,
+) -> ScalarPlan {
+    let mut reclaimed = 0.0;
+    let targets = vms
+        .iter()
+        .zip(reclaim.iter())
+        .map(|(vm, r)| {
+            let target = (vm.current - r).clamp(vm.min, vm.max);
+            reclaimed += vm.current - target;
+            (vm.id, target)
+        })
+        .collect();
+    ScalarPlan {
+        kind: None,
+        targets,
+        reclaimed,
+        shortfall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{Priority, VmClass, VmSpec};
+
+    fn state(id: u64, max: f64, min: f64, current: f64, pri: f64) -> VmResourceState {
+        VmResourceState {
+            id: VmId(id),
+            max,
+            min,
+            current,
+            priority: pri,
+        }
+    }
+
+    #[test]
+    fn headrooms() {
+        let s = state(1, 10.0, 2.0, 6.0, 0.5);
+        assert_eq!(s.deflatable_headroom(), 4.0);
+        assert_eq!(s.reinflatable_headroom(), 4.0);
+        assert_eq!(s.deflatable_span(), 8.0);
+    }
+
+    #[test]
+    fn weighted_fill_simple_proportional() {
+        let (take, rem) = weighted_fill(&[10.0, 10.0], &[1.0, 3.0], 4.0);
+        assert!(rem.abs() < 1e-9);
+        assert!((take[0] - 1.0).abs() < 1e-9);
+        assert!((take[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_fill_respects_headroom_and_redistributes() {
+        // VM 0 can only give 1.0; the rest must come from VM 1.
+        let (take, rem) = weighted_fill(&[1.0, 100.0], &[1.0, 1.0], 10.0);
+        assert!(rem.abs() < 1e-9);
+        assert!((take[0] - 1.0).abs() < 1e-9);
+        assert!((take[1] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_fill_reports_shortfall() {
+        let (take, rem) = weighted_fill(&[1.0, 2.0], &[1.0, 1.0], 10.0);
+        assert!((take[0] - 1.0).abs() < 1e-9);
+        assert!((take[1] - 2.0).abs() < 1e-9);
+        assert!((rem - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_fill_zero_demand_or_empty() {
+        let (take, rem) = weighted_fill(&[], &[], 5.0);
+        assert!(take.is_empty());
+        assert_eq!(rem, 5.0);
+        let (take, rem) = weighted_fill(&[1.0], &[1.0], 0.0);
+        assert_eq!(take, vec![0.0]);
+        assert_eq!(rem, 0.0);
+    }
+
+    #[test]
+    fn scalar_plan_lookup() {
+        let plan = ScalarPlan {
+            kind: Some(ResourceKind::Cpu),
+            targets: vec![(VmId(1), 5.0), (VmId(2), 3.0)],
+            reclaimed: 2.0,
+            shortfall: 0.0,
+        };
+        assert!(plan.satisfied());
+        assert_eq!(plan.target_for(VmId(2)), Some(3.0));
+        assert_eq!(plan.target_for(VmId(9)), None);
+    }
+
+    #[test]
+    fn vector_planner_skips_non_deflatable() {
+        let deflatable = VmAllocation::new(
+            VmSpec::deflatable(
+                VmId(1),
+                VmClass::Interactive,
+                ResourceVector::cpu_mem(4000.0, 8192.0),
+            )
+            .with_priority(Priority::new(0.5)),
+        );
+        let on_demand = VmAllocation::new(VmSpec::on_demand(
+            VmId(2),
+            VmClass::Unknown,
+            ResourceVector::cpu_mem(4000.0, 8192.0),
+        ));
+        let vms = vec![&deflatable, &on_demand];
+        let states = VectorPlanner::scalar_states(&vms, ResourceKind::Cpu);
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].id, VmId(1));
+
+        let policy = ProportionalDeflation::default();
+        let plan = VectorPlanner::plan(
+            &policy,
+            &vms,
+            ResourceVector::only(ResourceKind::Cpu, 1000.0),
+        );
+        assert!(plan.satisfied());
+        assert_eq!(plan.targets.len(), 1);
+        let target = plan.targets[&VmId(1)];
+        assert!((target.cpu() - 3000.0).abs() < 1e-6);
+        // Untouched dimensions stay at their current values.
+        assert!((target.memory() - 8192.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,232 @@
+//! Pricing models for deflatable VMs (§5.2.2) and the revenue accounting
+//! used by the cluster-level evaluation (§7.4.3, Figure 22).
+//!
+//! Three pricing policies are modelled:
+//!
+//! * **Static** — deflatable VMs are sold at a fixed discount off the
+//!   on-demand price (the paper uses 0.2×, mirroring current spot /
+//!   preemptible / low-priority offerings).
+//! * **Priority-based** — the price equals the priority level times the
+//!   on-demand price ("priority-level 0.5 has price 0.5× the on-demand
+//!   price").
+//! * **Allocation-based** — the VM is billed for the resources it was
+//!   actually allocated over time ("VMs pay half price when at 50 %
+//!   allocation").
+
+use crate::resources::ResourceVector;
+use crate::vm::{Priority, VmSpec};
+use serde::{Deserialize, Serialize};
+
+/// Per-unit-hour prices used to convert a resource vector into dollars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateCard {
+    /// Price per physical core (1000 millicores) per hour.
+    pub per_core_hour: f64,
+    /// Price per GiB of memory per hour.
+    pub per_gib_hour: f64,
+    /// Price per 100 MB/s of disk bandwidth per hour.
+    pub per_disk_100mbps_hour: f64,
+    /// Price per Gbit/s of network bandwidth per hour.
+    pub per_net_gbps_hour: f64,
+}
+
+impl Default for RateCard {
+    /// Rates loosely modelled on public-cloud general-purpose instances
+    /// (about $0.05 per vCPU-hour and $0.005 per GiB-hour); the absolute
+    /// numbers cancel out of every relative-revenue result.
+    fn default() -> Self {
+        RateCard {
+            per_core_hour: 0.05,
+            per_gib_hour: 0.005,
+            per_disk_100mbps_hour: 0.002,
+            per_net_gbps_hour: 0.002,
+        }
+    }
+}
+
+impl RateCard {
+    /// On-demand price of an allocation vector, per hour.
+    pub fn hourly_price(&self, allocation: &ResourceVector) -> f64 {
+        self.per_core_hour * allocation.cpu() / 1000.0
+            + self.per_gib_hour * allocation.memory() / 1024.0
+            + self.per_disk_100mbps_hour * allocation.disk_bw() / 100.0
+            + self.per_net_gbps_hour * allocation.net_bw() / 1000.0
+    }
+}
+
+/// Pricing policy for deflatable VMs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PricingPolicy {
+    /// Fixed discount off the on-demand price, regardless of deflation.
+    Static {
+        /// Multiplier applied to the on-demand price (e.g. `0.2`).
+        discount: f64,
+    },
+    /// Price equals the VM's priority level times the on-demand price.
+    PriorityBased,
+    /// Bill for the mean fraction of the allocation actually granted over the
+    /// VM's lifetime, times the on-demand price.
+    AllocationBased,
+}
+
+impl PricingPolicy {
+    /// The paper's default static offering: 0.2× the on-demand price,
+    /// "corresponding to the discounts offered by current transient cloud
+    /// servers".
+    pub fn static_default() -> Self {
+        PricingPolicy::Static { discount: 0.2 }
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PricingPolicy::Static { .. } => "static",
+            PricingPolicy::PriorityBased => "priority-based",
+            PricingPolicy::AllocationBased => "allocation-based",
+        }
+    }
+
+    /// Revenue earned from one VM.
+    ///
+    /// * `spec` — the VM (its maximum allocation sets the on-demand price).
+    /// * `hours` — how long the VM ran.
+    /// * `mean_allocation_fraction` — time-average of `current / max`
+    ///   allocation over the VM's lifetime, in `[0, 1]` (1.0 = never
+    ///   deflated). Only the allocation-based policy uses it.
+    /// * `rates` — the rate card.
+    ///
+    /// Non-deflatable VMs always pay the full on-demand price.
+    pub fn revenue(
+        &self,
+        spec: &VmSpec,
+        hours: f64,
+        mean_allocation_fraction: f64,
+        rates: &RateCard,
+    ) -> f64 {
+        let on_demand = rates.hourly_price(&spec.max_allocation) * hours.max(0.0);
+        if !spec.deflatable {
+            return on_demand;
+        }
+        let frac = mean_allocation_fraction.clamp(0.0, 1.0);
+        match self {
+            PricingPolicy::Static { discount } => on_demand * discount.clamp(0.0, 1.0),
+            PricingPolicy::PriorityBased => on_demand * spec.priority.value(),
+            PricingPolicy::AllocationBased => on_demand * frac,
+        }
+    }
+
+    /// The price multiplier (relative to on-demand) a user of the given
+    /// priority would be quoted up-front, before any deflation happens.
+    pub fn quoted_multiplier(&self, priority: Priority) -> f64 {
+        match self {
+            PricingPolicy::Static { discount } => discount.clamp(0.0, 1.0),
+            PricingPolicy::PriorityBased => priority.value(),
+            PricingPolicy::AllocationBased => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{VmClass, VmId};
+
+    fn spec(priority: f64) -> VmSpec {
+        VmSpec::deflatable(
+            VmId(1),
+            VmClass::Interactive,
+            ResourceVector::cpu_mem(4000.0, 16_384.0),
+        )
+        .with_priority(Priority::new(priority))
+    }
+
+    #[test]
+    fn rate_card_prices_scale_linearly() {
+        let rates = RateCard::default();
+        let small = ResourceVector::cpu_mem(1000.0, 1024.0);
+        let big = small * 4.0;
+        assert!((rates.hourly_price(&big) - 4.0 * rates.hourly_price(&small)).abs() < 1e-12);
+        assert!(rates.hourly_price(&ResourceVector::ZERO).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_pricing_is_flat_discount() {
+        let rates = RateCard::default();
+        let p = PricingPolicy::static_default();
+        let s = spec(0.5);
+        let full = rates.hourly_price(&s.max_allocation) * 10.0;
+        let r = p.revenue(&s, 10.0, 0.3, &rates);
+        assert!((r - 0.2 * full).abs() < 1e-12);
+        // Deflation (mean allocation fraction) does not change static revenue.
+        assert_eq!(r, p.revenue(&s, 10.0, 1.0, &rates));
+    }
+
+    #[test]
+    fn priority_pricing_scales_with_priority() {
+        let rates = RateCard::default();
+        let p = PricingPolicy::PriorityBased;
+        let low = p.revenue(&spec(0.2), 1.0, 1.0, &rates);
+        let high = p.revenue(&spec(0.8), 1.0, 1.0, &rates);
+        assert!((high / low - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_pricing_tracks_mean_allocation() {
+        let rates = RateCard::default();
+        let p = PricingPolicy::AllocationBased;
+        let s = spec(0.5);
+        let full = p.revenue(&s, 2.0, 1.0, &rates);
+        let half = p.revenue(&s, 2.0, 0.5, &rates);
+        assert!((half - 0.5 * full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_demand_vms_always_pay_full_price() {
+        let rates = RateCard::default();
+        let od = VmSpec::on_demand(
+            VmId(2),
+            VmClass::Unknown,
+            ResourceVector::cpu_mem(4000.0, 16_384.0),
+        );
+        let full = rates.hourly_price(&od.max_allocation);
+        for policy in [
+            PricingPolicy::static_default(),
+            PricingPolicy::PriorityBased,
+            PricingPolicy::AllocationBased,
+        ] {
+            assert!((policy.revenue(&od, 1.0, 0.1, &rates) - full).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quoted_multipliers() {
+        assert_eq!(
+            PricingPolicy::static_default().quoted_multiplier(Priority::new(0.7)),
+            0.2
+        );
+        assert_eq!(
+            PricingPolicy::PriorityBased.quoted_multiplier(Priority::new(0.7)),
+            0.7
+        );
+        assert_eq!(
+            PricingPolicy::AllocationBased.quoted_multiplier(Priority::new(0.7)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PricingPolicy::static_default().name(), "static");
+        assert_eq!(PricingPolicy::PriorityBased.name(), "priority-based");
+        assert_eq!(PricingPolicy::AllocationBased.name(), "allocation-based");
+    }
+
+    #[test]
+    fn negative_hours_clamp_to_zero() {
+        let rates = RateCard::default();
+        assert_eq!(
+            PricingPolicy::static_default().revenue(&spec(0.5), -5.0, 1.0, &rates),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! The per-server local deflation controller (§6).
+//!
+//! "We run local deflation controllers that run on each server. These local
+//! controllers control the deflation of VMs by responding to resource
+//! pressure, by implementing the proportional deflation policies described in
+//! section 5." The controller owns a [`SimServer`], applies a server-level
+//! [`DeflationPolicy`] when a new VM needs room, reinflates residents when
+//! capacity frees up, and emits [`DeflationNotification`]s that an
+//! application manager (e.g. the deflation-aware load balancer of §7.3) can
+//! subscribe to.
+
+use crate::domain::DeflationMechanism;
+use crate::server::SimServer;
+use deflate_core::error::{DeflateError, Result};
+use deflate_core::policy::{DeflationPolicy, VectorPlanner};
+use deflate_core::resources::ResourceVector;
+use deflate_core::vm::{ServerId, VmId, VmSpec};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Notification sent to the application manager / load balancer whenever a
+/// VM's allocation changes (Figure 1, "Deflate VM Notification").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeflationNotification {
+    /// Server where the change happened.
+    pub server: ServerId,
+    /// Affected VM.
+    pub vm: VmId,
+    /// Allocation before the change.
+    pub old_allocation: ResourceVector,
+    /// Allocation after the change.
+    pub new_allocation: ResourceVector,
+}
+
+impl DeflationNotification {
+    /// True when the VM lost resources (deflation), false when it gained
+    /// them (reinflation).
+    pub fn is_deflation(&self) -> bool {
+        self.new_allocation.total() < self.old_allocation.total()
+    }
+}
+
+/// Outcome of an admission attempt on one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionOutcome {
+    /// The VM was admitted without deflating anyone.
+    AdmittedWithoutDeflation,
+    /// The VM was admitted after deflating resident VMs; the amount reclaimed
+    /// per resource is reported.
+    AdmittedWithDeflation {
+        /// Total resources reclaimed from residents to make room.
+        reclaimed: ResourceVector,
+    },
+    /// The server could not free enough resources; the VM was rejected
+    /// (this is the "failure to reclaim sufficient resources" event counted
+    /// by Figure 20).
+    Rejected {
+        /// Unmet demand per resource.
+        shortfall: ResourceVector,
+    },
+}
+
+/// Per-server deflation controller.
+pub struct LocalController {
+    server: SimServer,
+    policy: Arc<dyn DeflationPolicy>,
+    mechanism: DeflationMechanism,
+    notifications: Vec<DeflationNotification>,
+}
+
+impl LocalController {
+    /// Create a controller around a server with the given policy and
+    /// mechanism for all future deflation operations.
+    pub fn new(
+        server: SimServer,
+        policy: Arc<dyn DeflationPolicy>,
+        mechanism: DeflationMechanism,
+    ) -> Self {
+        LocalController {
+            server,
+            policy,
+            mechanism,
+            notifications: Vec::new(),
+        }
+    }
+
+    /// Read access to the underlying server.
+    pub fn server(&self) -> &SimServer {
+        &self.server
+    }
+
+    /// Mutable access to the underlying server (used by the trace driver to
+    /// feed per-VM utilisation into the guests).
+    pub fn server_mut(&mut self) -> &mut SimServer {
+        &mut self.server
+    }
+
+    /// The policy driving this controller.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Drain the accumulated notifications (oldest first).
+    pub fn take_notifications(&mut self) -> Vec<DeflationNotification> {
+        std::mem::take(&mut self.notifications)
+    }
+
+    /// Attempt to admit a new VM, deflating residents if needed (the
+    /// three-step placement of §6: the cluster manager already chose this
+    /// server; this method performs steps two and three).
+    pub fn try_admit(&mut self, spec: VmSpec) -> Result<AdmissionOutcome> {
+        spec.validate()?;
+        let demand = spec.max_allocation;
+        let free = self.server.free();
+        if demand.fits_within(&free) {
+            self.server.create_domain(spec, self.mechanism)?;
+            return Ok(AdmissionOutcome::AdmittedWithoutDeflation);
+        }
+
+        // Step 2: compute the deflation required to accommodate the new VM.
+        let needed = demand.saturating_sub(&free);
+        let snapshot_before: Vec<(VmId, ResourceVector)> = self
+            .server
+            .domains()
+            .map(|d| (d.spec.id, d.effective_allocation()))
+            .collect();
+        let domains: Vec<_> = self.server.domains().collect();
+        let plan = VectorPlanner::plan(self.policy.as_ref(), &domains, needed);
+        if !plan.satisfied() {
+            // "If this violates any resource constraint, then the server
+            // rejects the VM."
+            return Ok(AdmissionOutcome::Rejected {
+                shortfall: plan.shortfall,
+            });
+        }
+        let targets = plan.targets.clone();
+        drop(domains);
+
+        // Step 3: perform the actual deflation and launch the VM.
+        self.server.apply_targets(&targets)?;
+        self.record_changes(&snapshot_before);
+        let reclaimed = plan.reclaimed;
+        match self.server.create_domain(spec.clone(), self.mechanism) {
+            Ok(_) => Ok(AdmissionOutcome::AdmittedWithDeflation { reclaimed }),
+            Err(DeflateError::PlacementFailed { .. }) => {
+                // Deflation mechanisms are granular (hotplug rounds up), so
+                // the freed amount can fall marginally short of the plan.
+                // Admit the VM slightly deflated to fit the space actually
+                // available rather than rejecting it.
+                let free = self.server.free();
+                let initial = demand.min(&free);
+                self.server
+                    .create_domain_deflated(spec, self.mechanism, initial)?;
+                Ok(AdmissionOutcome::AdmittedWithDeflation { reclaimed })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Handle a VM departure: destroy the domain and redistribute the freed
+    /// resources to deflated residents (reinflation, §5.1.3).
+    pub fn on_departure(&mut self, vm: VmId) -> Result<()> {
+        self.server.destroy_domain(vm)?;
+        self.reinflate();
+        Ok(())
+    }
+
+    /// Reinflate resident VMs using whatever capacity is currently free.
+    pub fn reinflate(&mut self) {
+        let free = self.server.free();
+        if free.is_zero() {
+            return;
+        }
+        let snapshot_before: Vec<(VmId, ResourceVector)> = self
+            .server
+            .domains()
+            .map(|d| (d.spec.id, d.effective_allocation()))
+            .collect();
+        let domains: Vec<_> = self.server.domains().collect();
+        let plan = VectorPlanner::plan(self.policy.as_ref(), &domains, -free);
+        let targets = plan.targets.clone();
+        drop(domains);
+        // Ignore the (negative) shortfall: not being able to place all freed
+        // resources simply means residents are already fully inflated.
+        let _ = self.server.apply_targets(&targets);
+        debug_assert!(self.server.check_capacity_invariant().is_ok());
+        self.record_changes(&snapshot_before);
+    }
+
+    fn record_changes(&mut self, before: &[(VmId, ResourceVector)]) {
+        for &(id, old) in before {
+            if let Some(domain) = self.server.domain(id) {
+                let new = domain.effective_allocation();
+                if (new - old).max_component().abs() > 1e-6
+                    || (old - new).max_component().abs() > 1e-6
+                {
+                    self.notifications.push(DeflationNotification {
+                        server: self.server.id,
+                        vm: id,
+                        old_allocation: old,
+                        new_allocation: new,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deflate_core::policy::ProportionalDeflation;
+    use deflate_core::vm::{Priority, VmClass};
+
+    fn controller() -> LocalController {
+        let server = SimServer::new(
+            ServerId(1),
+            ResourceVector::new(16_000.0, 32_768.0, 1_000.0, 10_000.0),
+        );
+        LocalController::new(
+            server,
+            Arc::new(ProportionalDeflation::default()),
+            DeflationMechanism::Transparent,
+        )
+    }
+
+    fn vm(id: u64, cores: f64, mem: f64) -> VmSpec {
+        VmSpec::deflatable(
+            VmId(id),
+            VmClass::Interactive,
+            ResourceVector::new(cores * 1000.0, mem, 100.0, 500.0),
+        )
+        .with_priority(Priority::new(0.5))
+    }
+
+    #[test]
+    fn admission_without_pressure() {
+        let mut c = controller();
+        let out = c.try_admit(vm(1, 4.0, 8192.0)).unwrap();
+        assert_eq!(out, AdmissionOutcome::AdmittedWithoutDeflation);
+        assert_eq!(c.server().domain_count(), 1);
+        assert!(c.take_notifications().is_empty());
+    }
+
+    #[test]
+    fn admission_with_deflation_notifies_residents() {
+        let mut c = controller();
+        c.try_admit(vm(1, 10.0, 16_384.0)).unwrap();
+        c.try_admit(vm(2, 6.0, 8192.0)).unwrap();
+        // Server is now full (16 cores committed); a third VM forces
+        // deflation of residents.
+        let out = c.try_admit(vm(3, 8.0, 8192.0)).unwrap();
+        match out {
+            AdmissionOutcome::AdmittedWithDeflation { reclaimed } => {
+                assert!(reclaimed.cpu() >= 8000.0 - 1e-6);
+            }
+            other => panic!("expected deflation admission, got {other:?}"),
+        }
+        assert_eq!(c.server().domain_count(), 3);
+        assert!(c.server().check_capacity_invariant().is_ok());
+        let notes = c.take_notifications();
+        assert!(!notes.is_empty());
+        assert!(notes.iter().all(|n| n.is_deflation()));
+    }
+
+    #[test]
+    fn admission_rejected_when_headroom_insufficient() {
+        let mut c = controller();
+        // Fill the server with a non-deflatable VM: nothing can be reclaimed.
+        let od = VmSpec::on_demand(
+            VmId(1),
+            VmClass::Unknown,
+            ResourceVector::new(16_000.0, 32_768.0, 1_000.0, 10_000.0),
+        );
+        c.try_admit(od).unwrap();
+        let out = c.try_admit(vm(2, 2.0, 2048.0)).unwrap();
+        match out {
+            AdmissionOutcome::Rejected { shortfall } => {
+                assert!(shortfall.cpu() > 0.0);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(c.server().domain_count(), 1);
+    }
+
+    #[test]
+    fn departure_triggers_reinflation() {
+        let mut c = controller();
+        c.try_admit(vm(1, 10.0, 16_384.0)).unwrap();
+        c.try_admit(vm(2, 6.0, 8192.0)).unwrap();
+        c.try_admit(vm(3, 8.0, 8192.0)).unwrap();
+        c.take_notifications();
+        // VM 3 leaves; the survivors should be reinflated back towards full.
+        c.on_departure(VmId(3)).unwrap();
+        let d1 = c.server().domain(VmId(1)).unwrap();
+        let d2 = c.server().domain(VmId(2)).unwrap();
+        assert_eq!(d1.effective_allocation(), d1.spec.max_allocation);
+        assert_eq!(d2.effective_allocation(), d2.spec.max_allocation);
+        let notes = c.take_notifications();
+        assert!(notes.iter().all(|n| !n.is_deflation()));
+        assert!(!notes.is_empty());
+    }
+
+    #[test]
+    fn departure_of_unknown_vm_errors() {
+        let mut c = controller();
+        assert!(c.on_departure(VmId(42)).is_err());
+    }
+
+    #[test]
+    fn policy_name_is_exposed() {
+        let c = controller();
+        assert_eq!(c.policy_name(), "proportional-min-aware");
+    }
+}

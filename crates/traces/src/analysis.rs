@@ -1,0 +1,302 @@
+//! Deflation-feasibility analysis over resource-usage traces (§3.2).
+//!
+//! These functions compute exactly the quantities plotted in Figures 5–12:
+//! for each deflation level, the per-VM (or per-container) *fraction of time
+//! spent above the deflated allocation*, summarised as a box plot across the
+//! population, with the breakdowns by workload class, VM memory size and
+//! 95th-percentile peak utilisation that the paper uses.
+
+use crate::alibaba::ContainerTrace;
+use crate::azure::{AzureVmTrace, PeakClass, SizeClass};
+use crate::timeseries::{BoxplotSummary, TimeSeries};
+use deflate_core::vm::VmClass;
+use serde::{Deserialize, Serialize};
+
+/// The deflation levels swept by the feasibility figures (10 %–90 %).
+pub const DEFLATION_LEVELS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// One row of a feasibility figure: a deflation level and the distribution of
+/// per-VM underallocation fractions at that level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityPoint {
+    /// Deflation level in `[0, 1]`.
+    pub deflation: f64,
+    /// Distribution of "fraction of time underallocated" across the
+    /// population.
+    pub distribution: BoxplotSummary,
+}
+
+/// Compute the underallocation distribution of a set of series at one
+/// deflation level.
+pub fn feasibility_at<'a>(
+    series: impl Iterator<Item = &'a TimeSeries>,
+    deflation: f64,
+) -> BoxplotSummary {
+    let fractions: Vec<f64> = series
+        .map(|s| s.fraction_underallocated(deflation))
+        .collect();
+    BoxplotSummary::from_values(&fractions)
+}
+
+/// Sweep a set of series over several deflation levels.
+pub fn feasibility_sweep<'a, I>(series: I, levels: &[f64]) -> Vec<FeasibilityPoint>
+where
+    I: Iterator<Item = &'a TimeSeries> + Clone,
+{
+    levels
+        .iter()
+        .map(|&deflation| FeasibilityPoint {
+            deflation,
+            distribution: feasibility_at(series.clone(), deflation),
+        })
+        .collect()
+}
+
+/// Figure 5: CPU-deflation feasibility across the whole Azure VM population.
+pub fn cpu_feasibility(vms: &[AzureVmTrace], levels: &[f64]) -> Vec<FeasibilityPoint> {
+    feasibility_sweep(vms.iter().map(|v| &v.cpu_util), levels)
+}
+
+/// Figure 6: CPU-deflation feasibility broken down by workload class.
+pub fn cpu_feasibility_by_class(
+    vms: &[AzureVmTrace],
+    levels: &[f64],
+) -> Vec<(VmClass, Vec<FeasibilityPoint>)> {
+    VmClass::ALL
+        .iter()
+        .map(|&class| {
+            let points = feasibility_sweep(
+                vms.iter()
+                    .filter(move |v| v.class == class)
+                    .map(|v| &v.cpu_util),
+                levels,
+            );
+            (class, points)
+        })
+        .collect()
+}
+
+/// Figure 7: CPU-deflation feasibility broken down by VM memory size.
+pub fn cpu_feasibility_by_size(
+    vms: &[AzureVmTrace],
+    levels: &[f64],
+) -> Vec<(SizeClass, Vec<FeasibilityPoint>)> {
+    SizeClass::ALL
+        .iter()
+        .map(|&size| {
+            let points = feasibility_sweep(
+                vms.iter()
+                    .filter(move |v| v.size_class() == size)
+                    .map(|v| &v.cpu_util),
+                levels,
+            );
+            (size, points)
+        })
+        .collect()
+}
+
+/// Figure 8: CPU-deflation feasibility broken down by 95th-percentile peak
+/// utilisation.
+pub fn cpu_feasibility_by_peak(
+    vms: &[AzureVmTrace],
+    levels: &[f64],
+) -> Vec<(PeakClass, Vec<FeasibilityPoint>)> {
+    PeakClass::ALL
+        .iter()
+        .map(|&peak| {
+            let points = feasibility_sweep(
+                vms.iter()
+                    .filter(move |v| v.peak_class() == peak)
+                    .map(|v| &v.cpu_util),
+                levels,
+            );
+            (peak, points)
+        })
+        .collect()
+}
+
+/// Figure 9: raw memory-occupancy feasibility of the Alibaba containers.
+pub fn memory_feasibility(
+    containers: &[ContainerTrace],
+    levels: &[f64],
+) -> Vec<FeasibilityPoint> {
+    feasibility_sweep(containers.iter().map(|c| &c.memory_util), levels)
+}
+
+/// Figure 10: distribution of memory-bus bandwidth utilisation across
+/// containers (mean per container).
+pub fn memory_bandwidth_usage(containers: &[ContainerTrace]) -> BoxplotSummary {
+    let means: Vec<f64> = containers
+        .iter()
+        .map(|c| c.memory_bw_util.mean())
+        .collect();
+    BoxplotSummary::from_values(&means)
+}
+
+/// Figure 11: disk-bandwidth deflation feasibility of the Alibaba containers.
+pub fn disk_feasibility(
+    containers: &[ContainerTrace],
+    levels: &[f64],
+) -> Vec<FeasibilityPoint> {
+    feasibility_sweep(containers.iter().map(|c| &c.disk_util), levels)
+}
+
+/// Figure 12: network-bandwidth deflation feasibility of the Alibaba
+/// containers (incoming + outgoing traffic combined).
+pub fn network_feasibility(
+    containers: &[ContainerTrace],
+    levels: &[f64],
+) -> Vec<FeasibilityPoint> {
+    feasibility_sweep(containers.iter().map(|c| &c.net_util), levels)
+}
+
+/// Mean throughput loss across a VM population when every VM is deflated to
+/// `1 − deflation` of its allocation for its whole lifetime — the worst-case
+/// accounting behind Figure 4 / §7.4.2.
+pub fn mean_throughput_loss(vms: &[AzureVmTrace], deflation: f64) -> f64 {
+    if vms.is_empty() {
+        return 0.0;
+    }
+    let allocation = 1.0 - deflation.clamp(0.0, 1.0);
+    vms.iter()
+        .map(|v| v.cpu_util.throughput_loss(allocation))
+        .sum::<f64>()
+        / vms.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alibaba::{AlibabaTraceConfig, AlibabaTraceGenerator};
+    use crate::azure::{AzureTraceConfig, AzureTraceGenerator};
+
+    fn azure() -> Vec<AzureVmTrace> {
+        AzureTraceGenerator::generate(&AzureTraceConfig {
+            num_vms: 400,
+            duration_hours: 24.0,
+            ..Default::default()
+        })
+    }
+
+    fn alibaba() -> Vec<ContainerTrace> {
+        AlibabaTraceGenerator::generate(&AlibabaTraceConfig {
+            num_containers: 200,
+            duration_hours: 12.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn figure5_median_vm_tolerates_50_percent_deflation() {
+        // "Even at high deflation levels (50%), the median VM spends 80% of
+        // the time below the deflated allocation."
+        let vms = azure();
+        let points = cpu_feasibility(&vms, &DEFLATION_LEVELS);
+        assert_eq!(points.len(), DEFLATION_LEVELS.len());
+        let at_50 = points
+            .iter()
+            .find(|p| (p.deflation - 0.5).abs() < 1e-9)
+            .unwrap();
+        assert!(
+            at_50.distribution.median < 0.25,
+            "median underallocation at 50% deflation = {}",
+            at_50.distribution.median
+        );
+        // Feasibility worsens monotonically with deflation (median).
+        for w in points.windows(2) {
+            assert!(w[0].distribution.median <= w[1].distribution.median + 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure6_interactive_less_impacted_than_batch() {
+        let vms = azure();
+        let by_class = cpu_feasibility_by_class(&vms, &[0.3, 0.5]);
+        let find = |class: VmClass| {
+            by_class
+                .iter()
+                .find(|(c, _)| *c == class)
+                .map(|(_, pts)| pts.clone())
+                .unwrap()
+        };
+        let interactive = find(VmClass::Interactive);
+        let batch = find(VmClass::DelayInsensitive);
+        for (i, b) in interactive.iter().zip(batch.iter()) {
+            assert!(
+                i.distribution.mean <= b.distribution.mean + 0.02,
+                "interactive ({}) should be less impacted than batch ({}) at {}",
+                i.distribution.mean,
+                b.distribution.mean,
+                i.deflation
+            );
+        }
+    }
+
+    #[test]
+    fn figure7_size_has_little_effect() {
+        let vms = azure();
+        let by_size = cpu_feasibility_by_size(&vms, &[0.4]);
+        let medians: Vec<f64> = by_size
+            .iter()
+            .map(|(_, pts)| pts[0].distribution.median)
+            .collect();
+        let max = medians.iter().copied().fold(f64::MIN, f64::max);
+        let min = medians.iter().copied().fold(f64::MAX, f64::min);
+        assert!(
+            max - min < 0.25,
+            "size classes diverge too much: {medians:?}"
+        );
+    }
+
+    #[test]
+    fn figure8_peak_class_orders_deflatability() {
+        let vms = azure();
+        let by_peak = cpu_feasibility_by_peak(&vms, &[0.5]);
+        let mean_of = |class: PeakClass| {
+            by_peak
+                .iter()
+                .find(|(c, _)| *c == class)
+                .map(|(_, pts)| pts[0].distribution.mean)
+                .unwrap()
+        };
+        assert!(mean_of(PeakClass::Low) < mean_of(PeakClass::Moderate));
+        assert!(mean_of(PeakClass::Moderate) < mean_of(PeakClass::VeryHigh));
+    }
+
+    #[test]
+    fn figure9_to_12_alibaba_characteristics() {
+        let containers = alibaba();
+        // Fig 9: memory occupancy is high — at 10% deflation the median
+        // container is above the deflated allocation most of the time.
+        let mem = memory_feasibility(&containers, &[0.1]);
+        assert!(mem[0].distribution.median > 0.5);
+        // Fig 10: memory bandwidth is tiny.
+        let bw = memory_bandwidth_usage(&containers);
+        assert!(bw.mean < 0.002);
+        assert!(bw.max < 0.02);
+        // Fig 11: disk rarely underallocated at 50% deflation.
+        let disk = disk_feasibility(&containers, &[0.5]);
+        assert!(disk[0].distribution.mean < 0.02);
+        // Fig 12: network rarely underallocated even at 70% deflation.
+        let net = network_feasibility(&containers, &[0.7]);
+        assert!(net[0].distribution.mean < 0.05);
+    }
+
+    #[test]
+    fn throughput_loss_grows_with_deflation() {
+        let vms = azure();
+        let low = mean_throughput_loss(&vms, 0.1);
+        let mid = mean_throughput_loss(&vms, 0.5);
+        let high = mean_throughput_loss(&vms, 0.9);
+        assert!(low <= mid && mid <= high);
+        assert!(low < 0.05, "10% deflation should cost almost nothing: {low}");
+        assert_eq!(mean_throughput_loss(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn feasibility_sweep_empty_population() {
+        let points = feasibility_sweep(std::iter::empty(), &[0.5]);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].distribution.mean, 0.0);
+    }
+}

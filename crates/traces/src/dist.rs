@@ -1,0 +1,177 @@
+//! Small deterministic distribution samplers used by the trace generators.
+//!
+//! The workspace's offline dependency set includes `rand` but not
+//! `rand_distr`, so the handful of non-uniform distributions the generators
+//! need (exponential, normal / log-normal, bounded Pareto, Poisson counts)
+//! are implemented here with inverse-transform / Box–Muller / Knuth methods.
+//! All samplers take `&mut impl Rng` so experiments stay reproducible from an
+//! explicit seed.
+
+use rand::Rng;
+
+/// Sample an exponential variate with the given rate `λ` (mean `1/λ`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let rate = rate.max(1e-12);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+/// Sample a standard normal variate (Box–Muller transform).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev.max(0.0) * standard_normal(rng)
+}
+
+/// Sample a log-normal variate parameterised by the *underlying* normal's
+/// mean `mu` and standard deviation `sigma`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample a bounded Pareto variate on `[lo, hi]` with shape `alpha`.
+/// Heavy-tailed service demands and VM lifetimes use this.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    let alpha = alpha.max(1e-6);
+    let (lo, hi) = (lo.max(1e-12), hi.max(lo.max(1e-12) * (1.0 + 1e-12)));
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+    x.clamp(lo, hi)
+}
+
+/// Sample a Poisson count with mean `lambda` (Knuth's method for small
+/// means, normal approximation for large ones).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    let lambda = lambda.max(0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k: u64 = 0;
+    let mut p = 1.0;
+    loop {
+        k += 1;
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k - 1;
+        }
+    }
+}
+
+/// Sample an index according to a discrete (unnormalised) weight vector.
+/// Returns 0 when all weights are zero or the vector is empty-safe (callers
+/// must pass at least one weight).
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if total <= 0.0 || weights.is_empty() {
+        return 0;
+    }
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        let w = w.max(0.0);
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(log_normal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let x = bounded_pareto(&mut r, 1.5, 2.0, 50.0);
+            assert!((2.0..=50.0).contains(&x), "{x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut r = rng();
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut r, 4.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean was {mean}");
+        // Large-lambda path.
+        let mean_large: f64 =
+            (0..n).map(|_| poisson(&mut r, 100.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean_large - 100.0).abs() < 1.0, "mean was {mean_large}");
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut r = rng();
+        let weights = [1.0, 3.0, 0.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio was {ratio}");
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| exponential(&mut r, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| exponential(&mut r, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,46 @@
+//! # deflate-traces
+//!
+//! Synthetic cloud resource-usage traces and the deflation-feasibility
+//! analysis of §3 of the paper.
+//!
+//! The paper's analysis is driven by two public datasets that are not
+//! available in this environment: the Azure 2017 VM dataset (per-VM CPU
+//! utilisation, classes, sizes) and the Alibaba 2018 container dataset
+//! (memory, memory-bandwidth, disk and network usage). This crate replaces
+//! them with statistically matched synthetic generators — see `DESIGN.md`
+//! for the substitution rationale — and implements the analysis on top:
+//!
+//! * [`timeseries`] — fixed-interval utilisation series, percentiles,
+//!   underallocation metrics, box-plot summaries.
+//! * [`dist`] — deterministic samplers for the non-uniform distributions the
+//!   generators need.
+//! * [`azure`] — synthetic Azure VM population (Figures 5–8 inputs, and the
+//!   workload for the cluster simulation of §7.4).
+//! * [`azure_csv`] — loader for the *real* Azure Public Dataset CSV files,
+//!   for users who have downloaded the dataset the paper analysed.
+//! * [`alibaba`] — synthetic Alibaba container population (Figures 9–12).
+//! * [`analysis`] — the feasibility computations behind Figures 5–12.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alibaba;
+pub mod analysis;
+pub mod azure;
+pub mod azure_csv;
+pub mod dist;
+pub mod timeseries;
+
+pub use alibaba::{AlibabaTraceConfig, AlibabaTraceGenerator, ContainerTrace};
+pub use azure::{AzureTraceConfig, AzureTraceGenerator, AzureVmTrace, PeakClass, SizeClass};
+pub use timeseries::{BoxplotSummary, TimeSeries};
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::alibaba::{AlibabaTraceConfig, AlibabaTraceGenerator, ContainerTrace};
+    pub use crate::analysis::{self, FeasibilityPoint, DEFLATION_LEVELS};
+    pub use crate::azure::{
+        AzureTraceConfig, AzureTraceGenerator, AzureVmTrace, PeakClass, SizeClass,
+    };
+    pub use crate::timeseries::{BoxplotSummary, TimeSeries};
+}

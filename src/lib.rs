@@ -1,0 +1,32 @@
+//! # vmdeflate
+//!
+//! Umbrella crate for the `vmdeflate` workspace: a reproduction of
+//! *"Cloud-scale VM Deflation for Running Interactive Applications On
+//! Transient Servers"* (Fuerst et al., HPDC 2020).
+//!
+//! This crate simply re-exports the workspace member crates under short
+//! module names so examples and downstream users can depend on a single
+//! crate:
+//!
+//! * [`core`] — resource vectors, VM model, deflation/placement/pricing policies.
+//! * [`hypervisor`] — simulated KVM/cgroups substrate and deflation mechanisms.
+//! * [`traces`] — synthetic Azure/Alibaba trace generators and feasibility analysis.
+//! * [`appsim`] — request-level application and load-balancer simulators.
+//! * [`cluster`] — cluster manager, local controllers and the discrete-event simulator.
+
+pub use deflate_appsim as appsim;
+pub use deflate_cluster as cluster;
+pub use deflate_core as core;
+pub use deflate_hypervisor as hypervisor;
+pub use deflate_traces as traces;
+
+/// Workspace version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration tests asserting the paper's application-level claims on the
+//! simulated testbed (Figures 3, 14, 16–19), run at quick scale.
+
+use vmdeflate::appsim::prelude::*;
+use vmdeflate::hypervisor::domain::DeflationMechanism;
+
+#[test]
+fn figure3_microservice_and_batch_apps_tolerate_uniform_deflation_differently() {
+    let specjbb = ApplicationProfile::specjbb();
+    let memcached = ApplicationProfile::memcached();
+    // "Different applications have different amounts of slack (with SpecJBB
+    // not exhibiting any slack at all)".
+    assert_eq!(specjbb.model.slack, 0.0);
+    assert!(memcached.model.slack >= 0.3);
+    // At 50% uniform deflation memcached still performs near its peak while
+    // SpecJBB has lost a substantial fraction.
+    assert!(memcached.performance(0.5) > 0.85);
+    assert!(specjbb.performance(0.5) < 0.75);
+}
+
+#[test]
+fn figure14_hybrid_memory_deflation_tracks_the_paper() {
+    let exp = SpecJbbMemoryExperiment::default();
+    // "The performance with both transparent and hybrid deflation is largely
+    // unaffected up to 40% deflation, and hybrid deflation improves
+    // performance by about 10%."
+    let t40 = exp.normalized_response_time(DeflationMechanism::Transparent, 0.40);
+    let h40 = exp.normalized_response_time(DeflationMechanism::Hybrid, 0.40);
+    assert!(t40 < 1.35, "transparent at 40%: {t40}");
+    assert!(h40 < 1.05, "hybrid at 40%: {h40}");
+    assert!(t40 - h40 >= 0.05, "hybrid advantage too small: {t40} vs {h40}");
+}
+
+#[test]
+fn figure16_wikipedia_degrades_gracefully_until_70_percent() {
+    let mut config = MultiTierConfig::wikipedia(25.0, 99);
+    // Scaled-down load with the same offered-load ratio for test speed.
+    config.workload.rate_per_sec = 200.0;
+    config.cores = 7.5;
+    let base = MultiTierApp::run(&config, 0.0);
+    let at_50 = MultiTierApp::run(&config, 0.5);
+    let at_70 = MultiTierApp::run(&config, 0.7);
+    let at_90 = MultiTierApp::run(&config, 0.9);
+    // Mean response time roughly doubles (not explodes) at 50–70% deflation.
+    assert!(at_50.mean() < 2.5 * base.mean());
+    assert!(at_70.mean() < 4.0 * base.mean());
+    // Deep deflation is clearly worse than 70%.
+    assert!(at_90.mean() > at_70.mean());
+    // p99 grows but stays within the timeout at 70%.
+    assert!(at_70.p99() <= 15.0);
+}
+
+#[test]
+fn figure17_requests_served_collapses_only_at_extreme_deflation() {
+    let mut config = MultiTierConfig::wikipedia(25.0, 7);
+    config.workload.rate_per_sec = 200.0;
+    config.cores = 7.5;
+    let served_50 = MultiTierApp::run(&config, 0.5).served_fraction();
+    let served_70 = MultiTierApp::run(&config, 0.7).served_fraction();
+    let served_97 = MultiTierApp::run(&config, 0.9667).served_fraction();
+    assert!(served_50 > 0.99, "50%: {served_50}");
+    assert!(served_70 > 0.95, "70%: {served_70}");
+    assert!(served_97 < served_70, "97% should drop requests");
+}
+
+#[test]
+fn figure18_social_network_holds_to_50_percent_then_breaks() {
+    let app = SocialNetworkApp::paper_configuration(500.0);
+    assert_eq!(app.services().len(), 30);
+    assert_eq!(app.deflatable_count(), 22);
+    let base = app.run(0.0, 8_000, 1);
+    let at_50 = app.run(0.5, 8_000, 2);
+    let at_65 = app.run(0.65, 8_000, 3);
+    assert!(at_50.median() < 4.0 * base.median());
+    assert!(
+        at_65.median() > 5.0 * at_50.median(),
+        "degradation should be abrupt beyond 50-60%: {} vs {}",
+        at_65.median(),
+        at_50.median()
+    );
+    assert!(at_65.p99() > at_65.median());
+}
+
+#[test]
+fn figure19_deflation_aware_lb_cuts_tail_latency() {
+    let config = WebClusterConfig::figure19(25.0, 3);
+    for deflation in [0.7, 0.8] {
+        let vanilla = WebCluster::run(&config, LbPolicy::Vanilla, deflation);
+        let aware = WebCluster::run(&config, LbPolicy::DeflationAware, deflation);
+        let improvement = 1.0 - aware.p90() / vanilla.p90().max(1e-9);
+        assert!(
+            improvement > 0.05,
+            "at {deflation} deflation the aware LB should cut the tail: vanilla {} aware {}",
+            vanilla.p90(),
+            aware.p90()
+        );
+    }
+}

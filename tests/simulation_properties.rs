@@ -1,0 +1,146 @@
+//! Property-based tests on the simulation substrates: the processor-sharing
+//! queue, the guest-OS hotplug model and the hypervisor domain mechanisms.
+
+use proptest::prelude::*;
+use vmdeflate::appsim::queueing::PsQueue;
+use vmdeflate::core::resources::{ResourceKind, ResourceVector};
+use vmdeflate::core::vm::{VmClass, VmId, VmSpec};
+use vmdeflate::hypervisor::domain::{DeflationMechanism, Domain};
+use vmdeflate::hypervisor::guest::{GuestOs, MEMORY_BLOCK_MB};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Work conservation and causality of the PS queue: every request
+    /// eventually completes, departures never precede arrivals, and no
+    /// request finishes faster than running alone at full capacity.
+    #[test]
+    fn ps_queue_conservation(
+        capacity in 0.5f64..16.0,
+        arrivals in prop::collection::vec((0.0f64..100.0, 0.001f64..2.0), 1..60),
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut queue = PsQueue::new(capacity);
+        let mut completions = Vec::new();
+        for (i, &(t, demand)) in sorted.iter().enumerate() {
+            completions.extend(queue.arrive(t, i as u64, demand));
+        }
+        let (done, unfinished) = queue.drain(1e12);
+        completions.extend(done);
+        prop_assert!(unfinished.is_empty());
+        prop_assert_eq!(completions.len(), sorted.len());
+        for c in &completions {
+            prop_assert!(c.departure >= c.arrival);
+            let lower_bound = c.demand / capacity;
+            prop_assert!(
+                c.response_time() >= lower_bound - 1e-9,
+                "response {} below solo service time {}",
+                c.response_time(),
+                lower_bound
+            );
+        }
+        // Departures are reported in order.
+        for w in completions.windows(2) {
+            prop_assert!(w[0].departure <= w[1].departure + 1e-9);
+        }
+    }
+
+    /// Deflating a PS queue mid-run never makes any request finish earlier.
+    #[test]
+    fn ps_queue_deflation_never_speeds_up_requests(
+        demands in prop::collection::vec(0.01f64..1.0, 1..20),
+        deflate_at in 0.1f64..5.0,
+        factor in 0.1f64..1.0,
+    ) {
+        let run = |deflated: bool| {
+            let mut queue = PsQueue::new(4.0);
+            let mut all = Vec::new();
+            for (i, &d) in demands.iter().enumerate() {
+                all.extend(queue.arrive(i as f64 * 0.05, i as u64, d));
+            }
+            if deflated {
+                all.extend(queue.set_capacity(deflate_at, 4.0 * factor));
+            }
+            let (done, _) = queue.drain(1e12);
+            all.extend(done);
+            let mut by_id: Vec<f64> = vec![0.0; demands.len()];
+            for c in all {
+                by_id[c.id as usize] = c.response_time();
+            }
+            by_id
+        };
+        let baseline = run(false);
+        let deflated = run(true);
+        for (b, d) in baseline.iter().zip(deflated.iter()) {
+            prop_assert!(*d >= *b - 1e-9, "deflation sped a request up: {b} -> {d}");
+        }
+    }
+
+    /// Guest-OS hotplug invariants: vCPUs stay within [1, boot], memory stays
+    /// within [block, boot], is block-aligned and never drops below the RSS
+    /// threshold.
+    #[test]
+    fn guest_hotplug_invariants(
+        vcpus in 1u32..64,
+        memory_blocks in 8u32..256,
+        rss_frac in 0.0f64..1.0,
+        busy in 0.0f64..1.0,
+        cpu_target in 0u32..80,
+        mem_target in 0.0f64..40_000.0,
+    ) {
+        let boot_mem = memory_blocks as f64 * MEMORY_BLOCK_MB;
+        let mut guest = GuestOs::boot(vcpus, boot_mem);
+        guest.report_usage(rss_frac * boot_mem, 0.1 * boot_mem, busy);
+        guest.set_online_vcpus(cpu_target);
+        prop_assert!(guest.online_vcpus() >= 1);
+        prop_assert!(guest.online_vcpus() <= guest.boot_vcpus());
+        guest.set_plugged_memory(mem_target);
+        let plugged = guest.plugged_memory_mb();
+        prop_assert!(plugged <= boot_mem + 1e-9);
+        prop_assert!(plugged >= MEMORY_BLOCK_MB - 1e-9);
+        prop_assert!((plugged / MEMORY_BLOCK_MB).fract().abs() < 1e-9);
+        prop_assert!(plugged >= guest.rss_mb() - 1e-9);
+    }
+
+    /// Domain mechanisms: the effective allocation always stays within the
+    /// spec bounds, transparent deflation hits fractional targets exactly,
+    /// and hybrid reaches the same effective allocation as transparent.
+    #[test]
+    fn domain_deflation_bounds(
+        cores in 1.0f64..64.0,
+        mem_gib in 1.0f64..128.0,
+        target_frac in 0.0f64..1.2,
+        usage_frac in 0.0f64..1.0,
+    ) {
+        let max = ResourceVector::new(cores * 1000.0, mem_gib * 1024.0, 500.0, 2000.0);
+        let spec = VmSpec::deflatable(VmId(1), VmClass::Interactive, max);
+        let target = max * target_frac;
+        let usage = max * usage_frac;
+        for mechanism in [
+            DeflationMechanism::Transparent,
+            DeflationMechanism::Explicit,
+            DeflationMechanism::Hybrid,
+        ] {
+            let mut domain = Domain::launch_with(spec.clone(), mechanism);
+            domain.report_guest_usage(usage, 0.0);
+            domain.deflate_to(target);
+            let eff = domain.effective_allocation();
+            prop_assert!(eff.is_non_negative());
+            prop_assert!(eff.fits_within(&max), "{mechanism:?}: {eff} exceeds {max}");
+            for kind in ResourceKind::ALL {
+                prop_assert!((0.0..=1.0).contains(&domain.deflation_fraction(kind)));
+            }
+            prop_assert!(domain.memory_pressure_overhead() >= 1.0);
+        }
+        // Transparent and hybrid reach the clamped target exactly on disk/net.
+        let clamped = target.clamp(&ResourceVector::ZERO, &max);
+        let mut transparent = Domain::launch_with(spec.clone(), DeflationMechanism::Transparent);
+        transparent.report_guest_usage(usage, 0.0);
+        transparent.deflate_to(target);
+        let eff = transparent.effective_allocation();
+        for kind in ResourceKind::ALL {
+            prop_assert!((eff[kind] - clamped[kind]).abs() < 1e-6);
+        }
+    }
+}
