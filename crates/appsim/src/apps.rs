@@ -69,10 +69,7 @@ impl ApplicationProfile {
 
     /// Generate the (deflation, normalized performance) series of Figure 3.
     pub fn deflation_curve(&self, levels: &[f64]) -> Vec<(f64, f64)> {
-        levels
-            .iter()
-            .map(|&d| (d, self.performance(d)))
-            .collect()
+        levels.iter().map(|&d| (d, self.performance(d))).collect()
     }
 }
 
@@ -220,7 +217,10 @@ mod tests {
         // Around 30–40 % deflation hybrid is roughly 10 % better.
         let t = exp.normalized_response_time(DeflationMechanism::Transparent, 0.4);
         let h = exp.normalized_response_time(DeflationMechanism::Hybrid, 0.4);
-        assert!(t - h > 0.05, "expected a visible hybrid advantage: {t} vs {h}");
+        assert!(
+            t - h > 0.05,
+            "expected a visible hybrid advantage: {t} vs {h}"
+        );
     }
 
     #[test]

@@ -58,8 +58,7 @@ impl LatencyStats {
 
     /// Merge another accumulator into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
-        self.response_times
-            .extend_from_slice(&other.response_times);
+        self.response_times.extend_from_slice(&other.response_times);
         self.dropped += other.dropped;
     }
 

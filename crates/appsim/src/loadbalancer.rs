@@ -56,6 +56,7 @@ impl SmoothWrr {
 
     /// Pick the next backend index. Returns `None` when there are no
     /// backends or all weights are zero.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<usize> {
         if self.weights.is_empty() {
             return None;
@@ -182,8 +183,8 @@ impl WebCluster {
         let mut demands: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
 
         let finish = |stats: &mut LatencyStats,
-                          demands: &mut std::collections::HashMap<u64, f64>,
-                          completion: crate::queueing::Completion| {
+                      demands: &mut std::collections::HashMap<u64, f64>,
+                      completion: crate::queueing::Completion| {
             let demand = demands.remove(&completion.id).unwrap_or(completion.demand);
             let response = completion.response_time() + demand * config.transfer_factor;
             if response <= config.timeout_secs {
@@ -252,8 +253,8 @@ mod tests {
         let mut wrr = SmoothWrr::new(vec![1.0, 1.0]);
         let picks: Vec<usize> = (0..6).map(|_| wrr.next().unwrap()).collect();
         // Strict alternation for equal weights.
-        assert_eq!(picks[0] != picks[1], true);
-        assert_eq!(picks[1] != picks[2], true);
+        assert_ne!(picks[0], picks[1]);
+        assert_ne!(picks[1], picks[2]);
     }
 
     #[test]
@@ -272,7 +273,10 @@ mod tests {
     fn policy_weights() {
         let cores = [2.0, 2.0, 10.0];
         assert_eq!(LbPolicy::Vanilla.weights(&cores), vec![1.0, 1.0, 1.0]);
-        assert_eq!(LbPolicy::DeflationAware.weights(&cores), vec![2.0, 2.0, 10.0]);
+        assert_eq!(
+            LbPolicy::DeflationAware.weights(&cores),
+            vec![2.0, 2.0, 10.0]
+        );
         assert_eq!(LbPolicy::Vanilla.name(), "vanilla");
         assert_eq!(LbPolicy::DeflationAware.name(), "deflation-aware");
     }

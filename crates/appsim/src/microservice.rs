@@ -252,7 +252,12 @@ impl SocialNetworkApp {
     ) -> Vec<(f64, LatencyStats)> {
         levels
             .iter()
-            .map(|&d| (d, self.run(d, num_requests, seed.wrapping_add((d * 100.0) as u64))))
+            .map(|&d| {
+                (
+                    d,
+                    self.run(d, num_requests, seed.wrapping_add((d * 100.0) as u64)),
+                )
+            })
             .collect()
     }
 }

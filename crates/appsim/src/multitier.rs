@@ -156,7 +156,10 @@ mod tests {
         let cfg = quick_config();
         let base = MultiTierApp::run(&cfg, 0.0).mean();
         let at_50 = MultiTierApp::run(&cfg, 0.5).mean();
-        assert!(at_50 < 2.0 * base, "50% deflation mean {at_50} vs base {base}");
+        assert!(
+            at_50 < 2.0 * base,
+            "50% deflation mean {at_50} vs base {base}"
+        );
         let served = MultiTierApp::run(&cfg, 0.5).served_fraction();
         assert!(served > 0.99);
     }

@@ -58,9 +58,7 @@ impl DemandDistribution {
     fn sample(&self, rng: &mut StdRng) -> f64 {
         match self {
             DemandDistribution::Constant(c) => *c,
-            DemandDistribution::Exponential { mean } => {
-                -(1.0 - rng.gen::<f64>()).ln() * mean
-            }
+            DemandDistribution::Exponential { mean } => -(1.0 - rng.gen::<f64>()).ln() * mean,
             DemandDistribution::Uniform { lo, hi } => rng.gen_range(*lo..*hi),
         }
     }
@@ -213,8 +211,7 @@ mod tests {
                 seed: 2,
             };
             let reqs = RequestGenerator::generate_all(cfg);
-            let mean: f64 =
-                reqs.iter().map(|r| r.demand).sum::<f64>() / reqs.len() as f64;
+            let mean: f64 = reqs.iter().map(|r| r.demand).sum::<f64>() / reqs.len() as f64;
             assert!(
                 (mean - expected).abs() / expected < 0.05,
                 "sample mean {mean} vs {expected}"

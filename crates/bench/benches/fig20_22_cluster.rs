@@ -29,10 +29,8 @@ fn bench_cluster_simulation(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 result.deflatable_revenue_per_server(&PricingPolicy::static_default(), &rates)
-                    + result
-                        .deflatable_revenue_per_server(&PricingPolicy::PriorityBased, &rates)
-                    + result
-                        .deflatable_revenue_per_server(&PricingPolicy::AllocationBased, &rates),
+                    + result.deflatable_revenue_per_server(&PricingPolicy::PriorityBased, &rates)
+                    + result.deflatable_revenue_per_server(&PricingPolicy::AllocationBased, &rates),
             )
         })
     });

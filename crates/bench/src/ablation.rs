@@ -25,7 +25,12 @@ pub fn placement_ablation(scale: Scale) -> Table {
     let servers = servers_for_overcommitment(&workload, capacity, 0.5);
     let mut table = Table::new(
         "Ablation: placement heuristic at 50% overcommitment",
-        &["placement", "failure probability", "throughput loss", "deflated VMs"],
+        &[
+            "placement",
+            "failure probability",
+            "throughput loss",
+            "deflated VMs",
+        ],
     );
     for placement in [
         PlacementKind::CosineFitness,
@@ -55,8 +60,7 @@ pub fn placement_ablation(scale: Scale) -> Table {
 /// Ablation B: cluster partitioning (mixed vs priority pools) under the
 /// priority deflation policy at 50 % overcommitment.
 pub fn partition_ablation(scale: Scale) -> Table {
-    let workload =
-        crate::cluster_exp::cluster_workload(scale, MinAllocationRule::PriorityTimesMax);
+    let workload = crate::cluster_exp::cluster_workload(scale, MinAllocationRule::PriorityTimesMax);
     let capacity = paper_server_capacity();
     let servers = servers_for_overcommitment(&workload, capacity, 0.5);
     let mut table = Table::new(
@@ -118,8 +122,7 @@ pub fn mechanism_ablation() -> Table {
             domain.deflate_to(target);
             let eff = domain.effective_allocation();
             let cpu_error = (eff.cpu() - target.cpu()).abs() / spec.max_allocation.cpu();
-            let mem_error =
-                (eff.memory() - target.memory()).abs() / spec.max_allocation.memory();
+            let mem_error = (eff.memory() - target.memory()).abs() / spec.max_allocation.memory();
             table.row(&[
                 mechanism.name().to_string(),
                 pct(target_deflation),

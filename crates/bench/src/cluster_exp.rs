@@ -228,8 +228,8 @@ pub fn fig22(scale: Scale) -> Vec<(PricingChoice, Vec<(f64, f64)>)> {
     .iter()
     .map(|&choice| {
         let pricing = choice.pricing();
-        let baseline = run_policy(scale, choice.policy(), 0.0)
-            .deflatable_revenue_per_server(&pricing, &rates);
+        let baseline =
+            run_policy(scale, choice.policy(), 0.0).deflatable_revenue_per_server(&pricing, &rates);
         let series = OVERCOMMIT_LEVELS
             .iter()
             .map(|&oc| {
@@ -299,13 +299,19 @@ mod tests {
             .deflatable_revenue_per_server(&pricing, &rates);
         let high = run_policy(Scale::Quick, PolicyChoice::Proportional, 0.5)
             .deflatable_revenue_per_server(&pricing, &rates);
-        assert!(high > base, "per-server revenue should rise: {base} -> {high}");
+        assert!(
+            high > base,
+            "per-server revenue should rise: {base} -> {high}"
+        );
     }
 
     #[test]
     fn names_are_stable() {
         assert_eq!(PolicyChoice::Proportional.name(), "proportional");
-        assert_eq!(PolicyChoice::PriorityPartitioned.name(), "priority+partitions");
+        assert_eq!(
+            PolicyChoice::PriorityPartitioned.name(),
+            "priority+partitions"
+        );
         assert_eq!(PricingChoice::AllocationBased.name(), "allocation-based");
     }
 }

@@ -31,10 +31,7 @@ pub fn alibaba_population(scale: Scale) -> Vec<ContainerTrace> {
 }
 
 fn feasibility_table(title: &str, rows: &[(String, Vec<FeasibilityPoint>)]) -> Table {
-    let mut table = Table::new(
-        title,
-        &["group", "deflation", "q1", "median", "q3", "mean"],
-    );
+    let mut table = Table::new(title, &["group", "deflation", "q1", "median", "q3", "mean"]);
     for (group, points) in rows {
         for p in points {
             table.row(&[
@@ -69,7 +66,10 @@ pub fn fig06(scale: Scale) -> Table {
             .into_iter()
             .map(|(class, points)| (class.to_string(), points))
             .collect();
-    feasibility_table("Figure 6: CPU deflation feasibility by workload class", &rows)
+    feasibility_table(
+        "Figure 6: CPU deflation feasibility by workload class",
+        &rows,
+    )
 }
 
 /// Figure 7: breakdown by VM memory size.
@@ -80,7 +80,10 @@ pub fn fig07(scale: Scale) -> Table {
             .into_iter()
             .map(|(size, points)| (size.label().to_string(), points))
             .collect();
-    feasibility_table("Figure 7: CPU deflation feasibility by VM memory size", &rows)
+    feasibility_table(
+        "Figure 7: CPU deflation feasibility by VM memory size",
+        &rows,
+    )
 }
 
 /// Figure 8: breakdown by 95th-percentile CPU usage.

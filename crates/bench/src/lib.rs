@@ -15,6 +15,7 @@
 //! | [`feasibility`] | 5, 6, 7, 8, 9, 10, 11, 12 |
 //! | [`web`] | 16, 17, 18, 19 |
 //! | [`cluster_exp`] | 20, 21, 22 |
+//! | [`transient_exp`] | transient-capacity reclamation comparison |
 //! | [`ablation`] | placement / partition / mechanism ablations |
 
 #![warn(missing_docs)]
@@ -26,6 +27,7 @@ pub mod cluster_exp;
 pub mod feasibility;
 pub mod report;
 pub mod scale;
+pub mod transient_exp;
 pub mod web;
 
 pub use report::Table;
@@ -51,6 +53,7 @@ pub fn print_all(scale: Scale) {
     cluster_exp::fig20_table(scale).print();
     cluster_exp::fig21_table(scale).print();
     cluster_exp::fig22_table(scale).print();
+    transient_exp::fig_transient_table(scale).print();
     ablation::placement_ablation(scale).print();
     ablation::partition_ablation(scale).print();
     ablation::mechanism_ablation().print();

@@ -1,0 +1,213 @@
+//! The transient-capacity experiment: deflation vs. preemption vs.
+//! migration-only under provider-side capacity dynamics.
+//!
+//! This is the paper's headline scenario (§2, §7.4): servers are
+//! *transient* — the provider reclaims part of their capacity and restores
+//! it later — and the question is how much of that shock each reclamation
+//! strategy absorbs. For each of the three capacity profiles of
+//! `deflate-transient` (square wave, diurnal, spot market) the experiment
+//! replays the same Azure-derived workload on the same seeded schedule and
+//! reports reclamation-failure probability, throughput loss, migration
+//! counts and revenue per server.
+
+use crate::report::{pct, Table};
+use crate::scale::Scale;
+use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
+use deflate_cluster::metrics::SimResult;
+use deflate_cluster::sim::ClusterSimulation;
+use deflate_cluster::spec::{
+    paper_server_capacity, servers_for_transient_overcommitment, workload_from_azure,
+    MinAllocationRule,
+};
+use deflate_core::placement::PartitionScheme;
+use deflate_core::policy::ProportionalDeflation;
+use deflate_core::pricing::{PricingPolicy, RateCard};
+use deflate_hypervisor::domain::DeflationMechanism;
+use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
+use deflate_transient::signal::{CapacityProfile, CapacitySchedule, TransientConfig};
+use std::sync::Arc;
+
+/// The reclamation strategies compared under transient capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientMode {
+    /// Proportional deflation with deflation-aware migration fallback (the
+    /// paper's proposal).
+    Deflation,
+    /// Kill lowest-priority residents on every reclamation (today's
+    /// transient offerings).
+    Preemption,
+    /// Migrate residents at full size, never deflate (the live-migration
+    /// strawman of §2).
+    MigrationOnly,
+}
+
+impl TransientMode {
+    /// All modes in report order.
+    pub const ALL: [TransientMode; 3] = [
+        TransientMode::Deflation,
+        TransientMode::Preemption,
+        TransientMode::MigrationOnly,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransientMode::Deflation => "deflation",
+            TransientMode::Preemption => "preemption",
+            TransientMode::MigrationOnly => "migration-only",
+        }
+    }
+
+    fn mode(&self) -> ReclamationMode {
+        match self {
+            TransientMode::Deflation => {
+                ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default()))
+            }
+            TransientMode::Preemption => ReclamationMode::Preemption,
+            TransientMode::MigrationOnly => ReclamationMode::MigrationOnly,
+        }
+    }
+}
+
+/// The three capacity profiles the experiment sweeps, at the defaults of
+/// `deflate-transient`.
+pub fn profiles() -> [CapacityProfile; 3] {
+    [
+        CapacityProfile::square_wave_default(),
+        CapacityProfile::diurnal_default(),
+        CapacityProfile::spot_market_default(),
+    ]
+}
+
+/// The Azure-derived workload all transient experiments replay (depends
+/// only on the scale, so callers sweeping modes/profiles should build it
+/// once and pass it to [`run_transient_on`]).
+pub fn transient_workload(scale: Scale) -> Vec<deflate_cluster::spec::WorkloadVm> {
+    let traces = AzureTraceGenerator::generate(&AzureTraceConfig {
+        num_vms: scale.cluster_vms(),
+        duration_hours: scale.cluster_trace_hours(),
+        seed: scale.seed(),
+        ..Default::default()
+    });
+    workload_from_azure(&traces, MinAllocationRule::None)
+}
+
+/// Run one mode under one capacity profile. The cluster is sized for the
+/// profile's mean availability (so all modes face the same, non-trivial
+/// pressure), all servers are transient, and displaced VMs migrate back
+/// when capacity returns.
+pub fn run_transient(scale: Scale, mode: TransientMode, profile: CapacityProfile) -> SimResult {
+    run_transient_on(&transient_workload(scale), scale, mode, profile)
+}
+
+/// [`run_transient`] with a pre-built workload, for callers sweeping many
+/// (mode, profile) pairs over the same trace.
+pub fn run_transient_on(
+    workload: &[deflate_cluster::spec::WorkloadVm],
+    scale: Scale,
+    mode: TransientMode,
+    profile: CapacityProfile,
+) -> SimResult {
+    let capacity = paper_server_capacity();
+    let servers =
+        servers_for_transient_overcommitment(workload, capacity, 0.0, profile.mean_availability());
+    let schedule = CapacitySchedule::generate(&TransientConfig {
+        num_servers: servers,
+        transient_fraction: 1.0,
+        duration_secs: scale.cluster_trace_hours() * 3600.0,
+        profile,
+        seed: scale.seed(),
+    });
+    let config = ClusterConfig {
+        num_servers: servers,
+        server_capacity: capacity,
+        placement: PlacementKind::CosineFitness,
+        partitions: PartitionScheme::None,
+        mechanism: DeflationMechanism::Transparent,
+    };
+    ClusterSimulation::new(config, mode.mode())
+        .with_capacity_schedule(schedule)
+        .with_migrate_back(true)
+        .run(workload)
+}
+
+/// The transient-capacity comparison as a printable table: one row per
+/// (profile, mode) pair.
+pub fn fig_transient_table(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Transient capacity: deflation vs preemption vs migration under reclamation",
+        &[
+            "profile",
+            "mode",
+            "failure probability",
+            "evictions",
+            "throughput loss",
+            "migrations",
+            "revenue/server",
+        ],
+    );
+    let rates = RateCard::default();
+    let pricing = PricingPolicy::static_default();
+    let workload = transient_workload(scale);
+    for profile in profiles() {
+        for mode in TransientMode::ALL {
+            let result = run_transient_on(&workload, scale, mode, profile);
+            table.row(&[
+                profile.name().to_string(),
+                mode.name().to_string(),
+                pct(result.failure_probability()),
+                pct(result.eviction_probability()),
+                pct(result.mean_throughput_loss()),
+                result.migration_count().to_string(),
+                format!(
+                    "{:.1}",
+                    result.deflatable_revenue_per_server(&pricing, &rates)
+                ),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deflation_beats_preemption_under_every_profile() {
+        for profile in profiles() {
+            let deflation = run_transient(Scale::Quick, TransientMode::Deflation, profile);
+            let preemption = run_transient(Scale::Quick, TransientMode::Preemption, profile);
+            assert!(
+                deflation.failure_probability() < preemption.failure_probability(),
+                "{}: deflation {} vs preemption {}",
+                profile.name(),
+                deflation.failure_probability(),
+                preemption.failure_probability()
+            );
+            // Capacity actually moved.
+            assert!(deflation.transient.reclaim_events > 0);
+        }
+    }
+
+    #[test]
+    fn migration_only_records_migrations() {
+        let result = run_transient(
+            Scale::Quick,
+            TransientMode::MigrationOnly,
+            CapacityProfile::square_wave_default(),
+        );
+        assert!(
+            result.transient.migrations > 0,
+            "expected migrations, counters: {:?}",
+            result.transient
+        );
+        assert_eq!(result.migration_count(), result.migrations.len());
+    }
+
+    #[test]
+    fn table_has_one_row_per_mode_and_profile() {
+        let table = fig_transient_table(Scale::Quick);
+        assert_eq!(table.len(), profiles().len() * TransientMode::ALL.len());
+    }
+}

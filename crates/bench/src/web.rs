@@ -139,10 +139,7 @@ mod tests {
         let sweep = wikipedia_sweep(Scale::Quick);
         assert_eq!(sweep.len(), FIG16_LEVELS.len());
         let base_mean = sweep[0].1.mean();
-        let at_50 = sweep
-            .iter()
-            .find(|(d, _)| (*d - 0.5).abs() < 1e-9)
-            .unwrap();
+        let at_50 = sweep.iter().find(|(d, _)| (*d - 0.5).abs() < 1e-9).unwrap();
         let deepest = sweep.last().unwrap();
         // Modest growth at 50 %, large at 97 %.
         assert!(at_50.1.mean() < 3.0 * base_mean);

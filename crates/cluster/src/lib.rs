@@ -6,12 +6,16 @@
 //! * [`spec`] — converting trace VMs into cluster workload items, cluster
 //!   sizing and overcommitment helpers.
 //! * [`manager`] — the centralized cluster manager: deflation-aware
-//!   placement, the three-step admission protocol, and the preemption
-//!   baseline.
-//! * [`sim`] — the trace-driven simulation loop.
+//!   placement, the three-step admission protocol, the preemption and
+//!   migration-only baselines, and the transient-capacity reclamation
+//!   handler (deflate → migrate → evict).
+//! * [`sim`] — the trace-driven simulation loop, built on the typed event
+//!   engine of `deflate-transient` (arrivals, departures, capacity
+//!   reclaim/restore, utilisation ticks).
 //! * [`metrics`] — per-VM records and the cluster-level metrics of §7.4:
 //!   reclamation-failure probability (Figure 20), throughput loss
-//!   (Figure 21) and revenue (Figure 22).
+//!   (Figure 21) and revenue (Figure 22), plus migration and
+//!   transient-capacity accounting.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,23 +26,23 @@ pub mod sim;
 pub mod spec;
 
 pub use manager::{
-    AdmissionCounters, ClusterConfig, ClusterManager, PlacementKind, PlacementResult,
-    ReclamationMode,
+    AdmissionCounters, CapacityChangeOutcome, ClusterConfig, ClusterManager, MigrationRecord,
+    PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
 };
-pub use metrics::{SimResult, VmOutcome, VmRecord};
+pub use metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
 pub use sim::ClusterSimulation;
 pub use spec::{MinAllocationRule, WorkloadVm};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::manager::{
-        AdmissionCounters, ClusterConfig, ClusterManager, PlacementKind, PlacementResult,
-        ReclamationMode,
+        AdmissionCounters, CapacityChangeOutcome, ClusterConfig, ClusterManager, MigrationRecord,
+        PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
     };
-    pub use crate::metrics::{SimResult, VmOutcome, VmRecord};
+    pub use crate::metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
     pub use crate::sim::ClusterSimulation;
     pub use crate::spec::{
         min_cluster_size, overcommitment_of, paper_server_capacity, servers_for_overcommitment,
-        workload_from_azure, MinAllocationRule, WorkloadVm,
+        servers_for_transient_overcommitment, workload_from_azure, MinAllocationRule, WorkloadVm,
     };
 }

@@ -78,6 +78,10 @@ pub enum ReclamationMode {
     /// Preempt (kill) resident low-priority VMs — the transient-server
     /// baseline the paper compares against in Figure 20.
     Preemption,
+    /// Never deflate or preempt for arrivals; absorb provider-side capacity
+    /// reclamation by live-migrating resident VMs at full size. The
+    /// migration-only baseline of the transient-capacity experiments.
+    MigrationOnly,
 }
 
 impl ReclamationMode {
@@ -86,6 +90,7 @@ impl ReclamationMode {
         match self {
             ReclamationMode::Deflation(p) => p.name(),
             ReclamationMode::Preemption => "preemption",
+            ReclamationMode::MigrationOnly => "migration-only",
         }
     }
 }
@@ -184,14 +189,72 @@ impl AdmissionCounters {
     }
 }
 
+/// Counters for provider-side transient-capacity dynamics (§7.4's
+/// reclamation scenario): how often capacity changed hands and what the
+/// cluster had to do about it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransientCounters {
+    /// Capacity-reclamation events handled.
+    pub reclaim_events: usize,
+    /// Capacity-restitution events handled.
+    pub restore_events: usize,
+    /// Reclamations fully absorbed by deflating residents in place.
+    pub absorbed_by_deflation: usize,
+    /// VMs migrated off a shrinking server (the fallback when deflation
+    /// alone cannot absorb a reclamation).
+    pub migrations: usize,
+    /// VMs migrated back to their origin server after a restitution.
+    pub migrations_back: usize,
+    /// Resident VMs destroyed because neither deflation nor migration could
+    /// absorb a reclamation — the reclamation-failure event of Figure 20.
+    pub reclamation_victims: usize,
+}
+
+/// One VM moved between servers by the reclamation handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// The migrated VM.
+    pub vm: VmId,
+    /// Server it left.
+    pub from: ServerId,
+    /// Server it now runs on.
+    pub to: ServerId,
+}
+
+/// What a capacity reclamation / restitution did to the cluster.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CapacityChangeOutcome {
+    /// VMs migrated to another server.
+    pub migrated: Vec<MigrationRecord>,
+    /// VMs destroyed because nothing else worked (reclamation failures).
+    pub victims: Vec<VmId>,
+    /// Servers whose residents' allocations may have changed (for
+    /// allocation-history recording by the simulator).
+    pub touched: Vec<ServerId>,
+}
+
+impl CapacityChangeOutcome {
+    fn touch(&mut self, server: ServerId) {
+        if !self.touched.contains(&server) {
+            self.touched.push(server);
+        }
+    }
+}
+
 /// The centralized cluster manager.
 pub struct ClusterManager {
     controllers: Vec<LocalController>,
     placement: Box<dyn PlacementPolicy>,
     partitions: PartitionScheme,
+    mechanism: DeflationMechanism,
+    base_capacity: ResourceVector,
     mode: ReclamationMode,
     vm_location: HashMap<VmId, usize>,
+    /// First server each migrated VM ran on, for migrate-back after a
+    /// capacity restitution.
+    migration_origin: HashMap<VmId, usize>,
     counters: AdmissionCounters,
+    transient: TransientCounters,
 }
 
 impl ClusterManager {
@@ -200,13 +263,14 @@ impl ClusterManager {
         let partition_assignment = config.partitions.assign_servers(config.num_servers);
         let policy: Arc<dyn DeflationPolicy> = match &mode {
             ReclamationMode::Deflation(p) => Arc::clone(p),
-            // The preemption baseline never calls the policy, but the local
-            // controllers need one for reinflation after departures.
-            ReclamationMode::Preemption => {
+            // The preemption and migration-only baselines never deflate for
+            // arrivals, but the local controllers need a policy for
+            // reinflation after departures.
+            ReclamationMode::Preemption | ReclamationMode::MigrationOnly => {
                 Arc::new(deflate_core::policy::ProportionalDeflation::default())
             }
         };
-        let controllers = (0..config.num_servers)
+        let controllers: Vec<LocalController> = (0..config.num_servers)
             .map(|i| {
                 let server = SimServer::new(ServerId(i as u32), config.server_capacity)
                     .with_partition(partition_assignment[i]);
@@ -217,9 +281,13 @@ impl ClusterManager {
             controllers,
             placement: config.placement.build(config.partitions),
             partitions: config.partitions,
+            mechanism: config.mechanism,
+            base_capacity: config.server_capacity,
             mode,
             vm_location: HashMap::new(),
+            migration_origin: HashMap::new(),
             counters: AdmissionCounters::default(),
+            transient: TransientCounters::default(),
         }
     }
 
@@ -323,11 +391,29 @@ impl ClusterManager {
         }
     }
 
+    /// Admission counters for transient-capacity events so far.
+    pub fn transient_counters(&self) -> TransientCounters {
+        self.transient
+    }
+
+    /// The available-capacity fraction a server currently runs at (1.0 when
+    /// the provider has not reclaimed anything), measured against the
+    /// configured hardware capacity on the CPU dimension.
+    pub fn capacity_fraction(&self, server: ServerId) -> f64 {
+        let idx = self.server_index(server);
+        let base = self.base_capacity[deflate_core::resources::ResourceKind::Cpu];
+        if idx >= self.controllers.len() || base <= 0.0 {
+            return 1.0;
+        }
+        self.controllers[idx].server().capacity[deflate_core::resources::ResourceKind::Cpu] / base
+    }
+
     /// Place a new VM, reclaiming resources if necessary.
     pub fn place_vm(&mut self, spec: VmSpec) -> PlacementResult {
         let result = match self.mode.clone() {
             ReclamationMode::Deflation(_) => self.place_with_deflation(&spec),
             ReclamationMode::Preemption => self.place_with_preemption(&spec),
+            ReclamationMode::MigrationOnly => self.place_without_reclamation(&spec),
         };
         match &result {
             PlacementResult::Placed { .. } => self.counters.admitted_free += 1,
@@ -450,6 +536,333 @@ impl ClusterManager {
         }
     }
 
+    /// Place a VM only where its full allocation fits free capacity — no
+    /// deflation, no preemption (the migration-only baseline's admission
+    /// path).
+    fn place_without_reclamation(&mut self, spec: &VmSpec) -> PlacementResult {
+        match self.admit_on_best(spec, Vec::new(), false) {
+            Some(idx) => {
+                self.vm_location.insert(spec.id, idx);
+                PlacementResult::Placed {
+                    server: self.controllers[idx].server().id,
+                }
+            }
+            None => PlacementResult::Rejected,
+        }
+    }
+
+    /// Handle a provider-side **capacity reclamation** at one server: shrink
+    /// it to `available_fraction` of its hardware capacity and absorb the
+    /// shock in mode-dependent order.
+    ///
+    /// * **Deflation mode** (the paper's proposal): first deflate residents
+    ///   via the configured [`DeflationPolicy`]; if the policy's headroom is
+    ///   exhausted, fall back to deflation-aware **migration** of the
+    ///   most-deflated VMs to other servers; only when neither suffices are
+    ///   the remaining over-capacity VMs destroyed and counted as
+    ///   reclamation failures.
+    /// * **Preemption mode**: kill lowest-priority residents until the
+    ///   remainder fits (today's transient offerings).
+    /// * **Migration-only mode**: migrate residents at full size to servers
+    ///   with room, killing whatever cannot be placed.
+    pub fn reclaim_capacity(
+        &mut self,
+        server: ServerId,
+        available_fraction: f64,
+    ) -> CapacityChangeOutcome {
+        let idx = self.server_index(server);
+        let mut outcome = CapacityChangeOutcome::default();
+        if idx >= self.controllers.len() {
+            return outcome;
+        }
+        let fraction = available_fraction.clamp(0.0, 1.0);
+        self.transient.reclaim_events += 1;
+        outcome.touch(server);
+        self.controllers[idx]
+            .server_mut()
+            .set_capacity(self.base_capacity * fraction);
+        self.absorb_overage(idx, &mut outcome);
+        // Whatever room deflation/migration/preemption left is handed back
+        // to the surviving residents.
+        self.controllers[idx].reinflate();
+        debug_assert!(self.controllers[idx]
+            .server()
+            .check_capacity_invariant()
+            .is_ok());
+        outcome
+    }
+
+    /// Restore the capacity invariant of a server whose capacity was just
+    /// changed, in mode-dependent order: deflation mode deflates first and
+    /// falls back to migration then eviction; migration-only migrates then
+    /// evicts; preemption evicts straight away. A no-op when the residents
+    /// already fit.
+    fn absorb_overage(&mut self, idx: usize, outcome: &mut CapacityChangeOutcome) {
+        if self.controllers[idx]
+            .server()
+            .check_capacity_invariant()
+            .is_ok()
+        {
+            return;
+        }
+        match self.mode.clone() {
+            ReclamationMode::Deflation(_) => {
+                if self.controllers[idx].deflate_into_capacity().is_zero() {
+                    self.transient.absorbed_by_deflation += 1;
+                    return;
+                }
+                self.migrate_until_fits(idx, true, outcome);
+                self.kill_until_fits(idx, outcome);
+            }
+            ReclamationMode::MigrationOnly => {
+                self.migrate_until_fits(idx, false, outcome);
+                self.kill_until_fits(idx, outcome);
+            }
+            ReclamationMode::Preemption => {
+                self.kill_until_fits(idx, outcome);
+            }
+        }
+    }
+
+    /// Handle a provider-side **capacity restitution** at one server: grow
+    /// it back to `available_fraction` of its hardware capacity, reinflate
+    /// residents into the returned room and — when `migrate_back` is set —
+    /// pull previously displaced VMs back to this, their origin, server.
+    pub fn restore_capacity(
+        &mut self,
+        server: ServerId,
+        available_fraction: f64,
+        migrate_back: bool,
+    ) -> CapacityChangeOutcome {
+        let idx = self.server_index(server);
+        let mut outcome = CapacityChangeOutcome::default();
+        if idx >= self.controllers.len() {
+            return outcome;
+        }
+        let fraction = available_fraction.clamp(0.0, 1.0);
+        self.transient.restore_events += 1;
+        self.controllers[idx].restore_capacity(self.base_capacity * fraction);
+        outcome.touch(server);
+        // A "restitution" to a fraction below the current usage is really a
+        // reclamation in disguise (e.g. a hand-built schedule with a
+        // mislabelled direction): absorb it the same way rather than leaving
+        // the server over capacity, and hand any room migration freed back
+        // to the surviving residents.
+        if self.controllers[idx]
+            .server()
+            .check_capacity_invariant()
+            .is_err()
+        {
+            self.absorb_overage(idx, &mut outcome);
+            self.controllers[idx].reinflate();
+        }
+
+        if migrate_back {
+            let displaced: Vec<VmId> = self
+                .migration_origin
+                .iter()
+                .filter(|&(vm, &origin)| {
+                    origin == idx && self.vm_location.get(vm).is_some_and(|&cur| cur != idx)
+                })
+                .map(|(&vm, _)| vm)
+                .collect();
+            // Deterministic order: lowest VM id first.
+            let mut displaced = displaced;
+            displaced.sort();
+            for vm in displaced {
+                let Some(&current) = self.vm_location.get(&vm) else {
+                    continue;
+                };
+                let Some(domain) = self.controllers[current].server().domain(vm) else {
+                    continue;
+                };
+                let spec = domain.spec.clone();
+                // Only move back when the VM fits its origin at full size —
+                // a migrate-back must never force new deflation.
+                if !spec
+                    .max_allocation
+                    .fits_within(&self.controllers[idx].server().free())
+                {
+                    continue;
+                }
+                if self.controllers[current].on_departure(vm).is_err() {
+                    continue;
+                }
+                if self.controllers[idx]
+                    .server_mut()
+                    .create_domain(spec, self.mechanism)
+                    .is_ok()
+                {
+                    self.vm_location.insert(vm, idx);
+                    self.migration_origin.remove(&vm);
+                    self.transient.migrations_back += 1;
+                    outcome.migrated.push(MigrationRecord {
+                        vm,
+                        from: self.controllers[current].server().id,
+                        to: server,
+                    });
+                    outcome.touch(self.controllers[current].server().id);
+                } else {
+                    // The domain was destroyed but could not be recreated —
+                    // should not happen since we checked the fit, but account
+                    // for it rather than losing the VM silently. The old
+                    // server's residents were reinflated by the departure,
+                    // so its allocations must be re-recorded too.
+                    self.vm_location.remove(&vm);
+                    self.migration_origin.remove(&vm);
+                    self.transient.reclamation_victims += 1;
+                    outcome.victims.push(vm);
+                    outcome.touch(self.controllers[current].server().id);
+                }
+            }
+        }
+        debug_assert!(self.controllers[idx]
+            .server()
+            .check_capacity_invariant()
+            .is_ok());
+        outcome
+    }
+
+    /// Migrate residents off an over-capacity server until its effective
+    /// usage fits. Candidates are tried most-deflated first (deflatable VMs
+    /// ordered by ascending allocation fraction, then on-demand VMs), and
+    /// each is re-admitted on the best other server — deflating that
+    /// server's residents when `deflation_aware` is set.
+    fn migrate_until_fits(
+        &mut self,
+        source: usize,
+        deflation_aware: bool,
+        outcome: &mut CapacityChangeOutcome,
+    ) {
+        let source_id = self.controllers[source].server().id;
+        let mut attempted: Vec<VmId> = Vec::new();
+        loop {
+            if self.controllers[source]
+                .server()
+                .check_capacity_invariant()
+                .is_ok()
+            {
+                return;
+            }
+            // Pick the most-deflated untried resident (deflatable first).
+            let candidate = {
+                let server = self.controllers[source].server();
+                let mut best: Option<(bool, f64, VmId)> = None;
+                for domain in server.domains() {
+                    if attempted.contains(&domain.spec.id) {
+                        continue;
+                    }
+                    let max = domain.spec.max_allocation.total();
+                    let frac = if max <= 0.0 {
+                        1.0
+                    } else {
+                        domain.effective_allocation().total() / max
+                    };
+                    // Sort key: on-demand after deflatable, then by
+                    // allocation fraction, then by id for determinism.
+                    let key = (!domain.spec.deflatable, frac, domain.spec.id);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                best.map(|(_, _, id)| id)
+            };
+            let Some(vm) = candidate else { return };
+            attempted.push(vm);
+            let Some(spec) = self.controllers[source]
+                .server()
+                .domain(vm)
+                .map(|d| d.spec.clone())
+            else {
+                continue;
+            };
+            let Some(target) = self.admit_on_best(&spec, vec![source_id], deflation_aware) else {
+                continue;
+            };
+            // The VM now exists on the target; destroy the source copy
+            // without reinflating yet (the server is still over capacity).
+            let _ = self.controllers[source].server_mut().destroy_domain(vm);
+            self.vm_location.insert(vm, target);
+            self.migration_origin.entry(vm).or_insert(source);
+            self.transient.migrations += 1;
+            outcome.migrated.push(MigrationRecord {
+                vm,
+                from: source_id,
+                to: self.controllers[target].server().id,
+            });
+            outcome.touch(self.controllers[target].server().id);
+        }
+    }
+
+    /// Admit a VM on the best server outside `excluded`, optionally
+    /// deflating the target's residents. Returns the chosen server index.
+    /// The caller is responsible for `vm_location` bookkeeping.
+    fn admit_on_best(
+        &mut self,
+        spec: &VmSpec,
+        mut excluded: Vec<ServerId>,
+        deflation_aware: bool,
+    ) -> Option<usize> {
+        loop {
+            let views: Vec<ServerView> = self
+                .views()
+                .into_iter()
+                .filter(|v| !excluded.contains(&v.id))
+                .collect();
+            if views.is_empty() {
+                return None;
+            }
+            let decision = self.placement.place(spec, &views)?;
+            let idx = self.server_index(decision.server);
+            let admitted = if deflation_aware {
+                matches!(
+                    self.controllers[idx].try_admit(spec.clone()),
+                    Ok(AdmissionOutcome::AdmittedWithoutDeflation)
+                        | Ok(AdmissionOutcome::AdmittedWithDeflation { .. })
+                )
+            } else {
+                spec.max_allocation
+                    .fits_within(&self.controllers[idx].server().free())
+                    && self.controllers[idx]
+                        .server_mut()
+                        .create_domain(spec.clone(), self.mechanism)
+                        .is_ok()
+            };
+            if admitted {
+                return Some(idx);
+            }
+            excluded.push(decision.server);
+            if excluded.len() >= self.controllers.len() {
+                return None;
+            }
+        }
+    }
+
+    /// Destroy residents of an over-capacity server until the rest fits:
+    /// the last-resort path, counted as reclamation failures. Victims are
+    /// chosen lowest-priority first among deflatable VMs, then on-demand
+    /// VMs, ids breaking ties.
+    fn kill_until_fits(&mut self, idx: usize, outcome: &mut CapacityChangeOutcome) {
+        while self.controllers[idx]
+            .server()
+            .check_capacity_invariant()
+            .is_err()
+        {
+            let victim = self.controllers[idx]
+                .server()
+                .domains()
+                .map(|d| (!d.spec.deflatable, d.spec.priority.value(), d.spec.id))
+                .min_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)))
+                .map(|(_, _, id)| id);
+            let Some(victim) = victim else { return };
+            let _ = self.controllers[idx].server_mut().destroy_domain(victim);
+            self.vm_location.remove(&victim);
+            self.migration_origin.remove(&victim);
+            self.transient.reclamation_victims += 1;
+            outcome.victims.push(victim);
+        }
+    }
+
     /// Handle a VM departure: remove its domain and reinflate the residents
     /// of the server it was on.
     pub fn remove_vm(&mut self, vm: VmId) -> Result<()> {
@@ -457,6 +870,7 @@ impl ClusterManager {
             .vm_location
             .remove(&vm)
             .ok_or(DeflateError::UnknownVm(vm))?;
+        self.migration_origin.remove(&vm);
         self.controllers[idx].on_departure(vm)
     }
 
@@ -580,6 +994,52 @@ mod tests {
         }
         assert!(cluster.counters().preempted_vms >= 1);
         assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn reclaim_deflates_and_restore_reinflates_residents() {
+        let mut cluster = small_cluster(deflation_mode());
+        for i in 0..4 {
+            assert!(cluster.place_vm(vm(i, 8.0, 0.5)).is_placed());
+        }
+        // Halve server 0: both servers are full, so nothing can migrate and
+        // the residents must be deflated in place.
+        let outcome = cluster.reclaim_capacity(ServerId(0), 0.5);
+        assert!(
+            outcome.victims.is_empty(),
+            "deflation should absorb: {outcome:?}"
+        );
+        assert!(cluster.check_invariants());
+        assert!((cluster.capacity_fraction(ServerId(0)) - 0.5).abs() < 1e-9);
+        assert!(cluster
+            .running_allocation_fractions()
+            .iter()
+            .any(|(_, f)| *f < 1.0 - 1e-9));
+        assert_eq!(cluster.transient_counters().reclaim_events, 1);
+        assert_eq!(cluster.transient_counters().absorbed_by_deflation, 1);
+        // Give it back: everyone reinflates to full.
+        cluster.restore_capacity(ServerId(0), 1.0, false);
+        assert!(cluster
+            .running_allocation_fractions()
+            .iter()
+            .all(|(_, f)| (*f - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn restore_below_usage_behaves_like_reclaim() {
+        let mut cluster = small_cluster(deflation_mode());
+        for i in 0..4 {
+            assert!(cluster.place_vm(vm(i, 8.0, 0.5)).is_placed());
+        }
+        // A "restore" to half capacity while residents use all of it is a
+        // reclamation in disguise: the invariant must still hold afterwards.
+        let outcome = cluster.restore_capacity(ServerId(0), 0.5, false);
+        assert!(cluster.check_invariants());
+        assert!(outcome.victims.is_empty());
+        assert!(cluster
+            .running_allocation_fractions()
+            .iter()
+            .any(|(_, f)| *f < 1.0 - 1e-9));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Per-VM records and cluster-level metrics for the trace-driven simulation
 //! (§7.4: failure probability, throughput loss, revenue).
 
-use crate::manager::AdmissionCounters;
+use crate::manager::{AdmissionCounters, TransientCounters};
 use deflate_core::pricing::{PricingPolicy, RateCard};
 use deflate_core::vm::VmSpec;
+use deflate_core::vm::{ServerId, VmId};
 use deflate_traces::timeseries::TimeSeries;
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +20,12 @@ pub enum VmOutcome {
     /// The VM was killed by the preemption baseline at the given time.
     Preempted {
         /// Simulation time of the preemption, seconds.
+        at_secs: f64,
+    },
+    /// The VM was destroyed because a provider-side capacity reclamation
+    /// could be absorbed neither by deflation nor by migration.
+    Evicted {
+        /// Simulation time of the eviction, seconds.
         at_secs: f64,
     },
 }
@@ -48,7 +55,7 @@ impl VmRecord {
         match self.outcome {
             VmOutcome::Completed => self.departure_secs,
             VmOutcome::Rejected => self.arrival_secs,
-            VmOutcome::Preempted { at_secs } => at_secs,
+            VmOutcome::Preempted { at_secs } | VmOutcome::Evicted { at_secs } => at_secs,
         }
     }
 
@@ -135,6 +142,23 @@ impl VmRecord {
     }
 }
 
+/// One VM migration performed during the simulation (capacity-reclamation
+/// fallback, or migrate-back after a restitution).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationEvent {
+    /// Simulation time of the migration, seconds.
+    pub time_secs: f64,
+    /// The migrated VM.
+    pub vm: VmId,
+    /// Server the VM left.
+    pub from: ServerId,
+    /// Server the VM moved to.
+    pub to: ServerId,
+    /// True when this was a migrate-back to the VM's origin server after a
+    /// capacity restitution.
+    pub back: bool,
+}
+
 /// Aggregate result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -142,6 +166,14 @@ pub struct SimResult {
     pub records: Vec<VmRecord>,
     /// Admission counters from the cluster manager.
     pub counters: AdmissionCounters,
+    /// Transient-capacity counters from the cluster manager (all zero for
+    /// runs without a capacity schedule).
+    pub transient: TransientCounters,
+    /// Every migration performed, in time order.
+    pub migrations: Vec<MigrationEvent>,
+    /// Cluster-utilisation samples `(time_secs, effective used / currently
+    /// available capacity)`, populated when utilisation ticks are enabled.
+    pub utilization: Vec<(f64, f64)>,
     /// Number of servers the cluster had.
     pub num_servers: usize,
     /// Nominal overcommitment level of the configuration (peak committed
@@ -174,6 +206,27 @@ impl SimResult {
         failures as f64 / deflatable as f64
     }
 
+    /// Fraction of deflatable VMs destroyed by capacity reclamations
+    /// (evictions only; rejections and arrival-preemptions excluded).
+    pub fn eviction_probability(&self) -> f64 {
+        let deflatable = self.deflatable_arrivals();
+        if deflatable == 0 {
+            return 0.0;
+        }
+        let evicted = self
+            .records
+            .iter()
+            .filter(|r| r.spec.deflatable)
+            .filter(|r| matches!(r.outcome, VmOutcome::Evicted { .. }))
+            .count();
+        evicted as f64 / deflatable as f64
+    }
+
+    /// Total number of migrations performed (including migrate-backs).
+    pub fn migration_count(&self) -> usize {
+        self.migrations.len()
+    }
+
     /// Figure 21's metric: mean relative throughput loss across deflatable
     /// VMs that were admitted.
     pub fn mean_throughput_loss(&self) -> f64 {
@@ -201,11 +254,7 @@ impl SimResult {
     /// Revenue from deflatable VMs per server — the quantity whose relative
     /// increase Figure 22 plots (shrinking the cluster at constant workload
     /// raises revenue per server until failures erode it).
-    pub fn deflatable_revenue_per_server(
-        &self,
-        pricing: &PricingPolicy,
-        rates: &RateCard,
-    ) -> f64 {
+    pub fn deflatable_revenue_per_server(&self, pricing: &PricingPolicy, rates: &RateCard) -> f64 {
         if self.num_servers == 0 {
             0.0
         } else {
@@ -324,6 +373,9 @@ mod tests {
         let result = SimResult {
             records: vec![completed, rejected, deflated],
             counters: AdmissionCounters::default(),
+            transient: TransientCounters::default(),
+            migrations: vec![],
+            utilization: vec![],
             num_servers: 2,
             overcommitment: 0.5,
             policy_name: "test".into(),
@@ -348,6 +400,9 @@ mod tests {
         let result = SimResult {
             records: vec![],
             counters: AdmissionCounters::default(),
+            transient: TransientCounters::default(),
+            migrations: vec![],
+            utilization: vec![],
             num_servers: 0,
             overcommitment: 0.0,
             policy_name: "empty".into(),
@@ -356,10 +411,8 @@ mod tests {
         assert_eq!(result.mean_throughput_loss(), 0.0);
         assert_eq!(result.deflated_vm_fraction(), 0.0);
         assert_eq!(
-            result.deflatable_revenue_per_server(
-                &PricingPolicy::PriorityBased,
-                &RateCard::default()
-            ),
+            result
+                .deflatable_revenue_per_server(&PricingPolicy::PriorityBased, &RateCard::default()),
             0.0
         );
     }

@@ -3,37 +3,71 @@
 //! The simulator replays a VM workload (arrival time, departure time, size,
 //! CPU-utilisation history — normally derived from the synthetic Azure trace)
 //! against a [`ClusterManager`], recording for every VM when it was admitted,
-//! rejected or preempted and how its CPU allocation changed over time. The
-//! resulting [`SimResult`] yields the three cluster-level metrics of §7.4:
-//! reclamation-failure probability (Figure 20), throughput loss (Figure 21)
-//! and revenue (Figure 22).
+//! rejected, preempted or evicted and how its CPU allocation changed over
+//! time. The resulting [`SimResult`] yields the three cluster-level metrics
+//! of §7.4: reclamation-failure probability (Figure 20), throughput loss
+//! (Figure 21) and revenue (Figure 22).
+//!
+//! The simulation runs on the generalized event engine of
+//! `deflate-transient`: a deterministic binary-heap [`EventQueue`] over typed
+//! [`SimEvent`]s. Besides VM arrivals and departures it understands
+//! provider-side **capacity events** — attach a
+//! [`CapacitySchedule`](deflate_transient::signal::CapacitySchedule) with
+//! [`ClusterSimulation::with_capacity_schedule`] and every reclamation is
+//! absorbed by deflation, then deflation-aware migration, and only then by
+//! evicting VMs (see [`ClusterManager::reclaim_capacity`]).
 
 use crate::manager::{ClusterConfig, ClusterManager, PlacementResult, ReclamationMode};
-use crate::metrics::{SimResult, VmOutcome, VmRecord};
+use crate::metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
 use crate::spec::WorkloadVm;
+use deflate_core::resources::ResourceKind;
 use deflate_core::vm::VmId;
+use deflate_transient::events::{EventQueue, SimEvent};
+use deflate_transient::signal::CapacitySchedule;
 use std::collections::HashMap;
-
-/// One simulation event.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Event {
-    /// A VM (index into the workload) arrives.
-    Arrival(usize),
-    /// A VM (index into the workload) departs.
-    Departure(usize),
-}
 
 /// The trace-driven cluster simulator.
 pub struct ClusterSimulation {
     config: ClusterConfig,
     mode: ReclamationMode,
+    schedule: CapacitySchedule,
+    utilization_tick_secs: Option<f64>,
+    migrate_back: bool,
 }
 
 impl ClusterSimulation {
     /// Create a simulation with the given cluster configuration and
-    /// reclamation mode.
+    /// reclamation mode (static capacity, no utilisation sampling).
     pub fn new(config: ClusterConfig, mode: ReclamationMode) -> Self {
-        ClusterSimulation { config, mode }
+        ClusterSimulation {
+            config,
+            mode,
+            schedule: CapacitySchedule::empty(),
+            utilization_tick_secs: None,
+            migrate_back: false,
+        }
+    }
+
+    /// Attach a provider-side capacity schedule: its reclamation and
+    /// restitution change-points become `CapacityReclaim` / `CapacityRestore`
+    /// events in the run.
+    pub fn with_capacity_schedule(mut self, schedule: CapacitySchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sample cluster utilisation every `interval_secs` of simulated time
+    /// (`UtilizationTick` events; results land in [`SimResult::utilization`]).
+    pub fn with_utilization_ticks(mut self, interval_secs: f64) -> Self {
+        self.utilization_tick_secs = (interval_secs > 0.0).then_some(interval_secs);
+        self
+    }
+
+    /// Migrate displaced VMs back to their origin server when its capacity
+    /// is restored.
+    pub fn with_migrate_back(mut self, migrate_back: bool) -> Self {
+        self.migrate_back = migrate_back;
+        self
     }
 
     /// Replay the workload and return the per-VM records and aggregate
@@ -41,18 +75,40 @@ impl ClusterSimulation {
     pub fn run(&self, workload: &[WorkloadVm]) -> SimResult {
         let mut manager = ClusterManager::new(&self.config, self.mode.clone());
 
-        // Build the event list: departures sort before arrivals at the same
-        // timestamp so back-to-back VMs do not artificially overlap.
-        let mut events: Vec<(f64, u8, Event)> = Vec::with_capacity(workload.len() * 2);
+        // Schedule every event up front. The queue's deterministic total
+        // order (time, then kind, then id) makes the run independent of
+        // insertion order: departures precede capacity changes precede
+        // arrivals at equal timestamps, so back-to-back VMs never
+        // artificially overlap and simultaneous arrivals see the already
+        // shrunk server.
+        let mut queue = EventQueue::with_capacity(workload.len() * 2 + self.schedule.len());
+        let mut horizon: f64 = 0.0;
         for (i, vm) in workload.iter().enumerate() {
-            events.push((vm.arrival_secs, 1, Event::Arrival(i)));
-            events.push((vm.departure_secs, 0, Event::Departure(i)));
+            queue.push(vm.arrival_secs, SimEvent::Arrival(i));
+            queue.push(vm.departure_secs, SimEvent::Departure(i));
+            horizon = horizon.max(vm.departure_secs);
         }
-        events.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        for change in self.schedule.changes() {
+            let event = if change.is_reclaim {
+                SimEvent::CapacityReclaim {
+                    server: change.server,
+                    available_fraction: change.available_fraction,
+                }
+            } else {
+                SimEvent::CapacityRestore {
+                    server: change.server,
+                    available_fraction: change.available_fraction,
+                }
+            };
+            queue.push(change.time_secs, event);
+        }
+        if let Some(interval) = self.utilization_tick_secs {
+            let mut t = 0.0;
+            while t <= horizon {
+                queue.push(t, SimEvent::UtilizationTick);
+                t += interval;
+            }
+        }
 
         // Working state.
         let index_of: HashMap<VmId, usize> = workload
@@ -72,10 +128,12 @@ impl ClusterSimulation {
             })
             .collect();
         let mut running: Vec<bool> = vec![false; workload.len()];
+        let mut migrations: Vec<MigrationEvent> = Vec::new();
+        let mut utilization: Vec<(f64, f64)> = Vec::new();
 
-        for (time, _, event) in events {
+        while let Some((time, event)) = queue.pop() {
             match event {
-                Event::Arrival(i) => {
+                SimEvent::Arrival(i) => {
                     let result = manager.place_vm(workload[i].spec.clone());
                     let touched_server = match result {
                         PlacementResult::Rejected => {
@@ -90,8 +148,7 @@ impl ClusterSimulation {
                             running[i] = true;
                             for victim in preempted {
                                 if let Some(&vi) = index_of.get(victim) {
-                                    records[vi].outcome =
-                                        VmOutcome::Preempted { at_secs: time };
+                                    records[vi].outcome = VmOutcome::Preempted { at_secs: time };
                                     running[vi] = false;
                                 }
                             }
@@ -106,21 +163,78 @@ impl ClusterSimulation {
                     };
                     if let Some(server) = touched_server {
                         Self::record_allocations(
-                            &manager, server, &index_of, &mut records, &running, time,
+                            &manager,
+                            server,
+                            &index_of,
+                            &mut records,
+                            &running,
+                            time,
                         );
                     }
                 }
-                Event::Departure(i) => {
+                SimEvent::Departure(i) => {
                     if running[i] {
                         let server = manager.locate(workload[i].spec.id);
                         let _ = manager.remove_vm(workload[i].spec.id);
                         running[i] = false;
                         if let Some(server) = server {
                             Self::record_allocations(
-                                &manager, server, &index_of, &mut records, &running, time,
+                                &manager,
+                                server,
+                                &index_of,
+                                &mut records,
+                                &running,
+                                time,
                             );
                         }
                     }
+                }
+                SimEvent::CapacityReclaim {
+                    server,
+                    available_fraction,
+                } => {
+                    let outcome = manager.reclaim_capacity(server, available_fraction);
+                    Self::apply_capacity_outcome(
+                        &manager,
+                        &outcome,
+                        false,
+                        time,
+                        &index_of,
+                        &mut records,
+                        &mut running,
+                        &mut migrations,
+                    );
+                }
+                SimEvent::CapacityRestore {
+                    server,
+                    available_fraction,
+                } => {
+                    let outcome =
+                        manager.restore_capacity(server, available_fraction, self.migrate_back);
+                    Self::apply_capacity_outcome(
+                        &manager,
+                        &outcome,
+                        true,
+                        time,
+                        &index_of,
+                        &mut records,
+                        &mut running,
+                        &mut migrations,
+                    );
+                }
+                SimEvent::UtilizationTick => {
+                    let mut used = 0.0;
+                    let mut capacity = 0.0;
+                    for server in manager.servers() {
+                        used += server.effective_used()[ResourceKind::Cpu];
+                        capacity += server.capacity[ResourceKind::Cpu];
+                    }
+                    let value = if capacity <= 0.0 {
+                        0.0
+                    } else {
+                        used / capacity
+                    };
+                    utilization.push((time, value));
                 }
             }
         }
@@ -134,9 +248,46 @@ impl ClusterSimulation {
         SimResult {
             records,
             counters: manager.counters(),
+            transient: manager.transient_counters(),
+            migrations,
+            utilization,
             num_servers: self.config.num_servers,
             overcommitment,
             policy_name: self.mode.name().to_string(),
+        }
+    }
+
+    /// Fold a capacity-change outcome into the per-VM bookkeeping: evicted
+    /// VMs stop running, migrations are logged, and allocation histories of
+    /// every touched server are brought up to date.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_capacity_outcome(
+        manager: &ClusterManager,
+        outcome: &crate::manager::CapacityChangeOutcome,
+        back: bool,
+        time: f64,
+        index_of: &HashMap<VmId, usize>,
+        records: &mut [VmRecord],
+        running: &mut [bool],
+        migrations: &mut Vec<MigrationEvent>,
+    ) {
+        for &victim in &outcome.victims {
+            if let Some(&vi) = index_of.get(&victim) {
+                records[vi].outcome = VmOutcome::Evicted { at_secs: time };
+                running[vi] = false;
+            }
+        }
+        for migration in &outcome.migrated {
+            migrations.push(MigrationEvent {
+                time_secs: time,
+                vm: migration.vm,
+                from: migration.from,
+                to: migration.to,
+                back,
+            });
+        }
+        for &server in &outcome.touched {
+            Self::record_allocations(manager, server, index_of, records, running, time);
         }
     }
 
@@ -151,7 +302,9 @@ impl ClusterSimulation {
         time: f64,
     ) {
         for (vm, fraction) in manager.allocation_fractions_on(server) {
-            let Some(&i) = index_of.get(&vm) else { continue };
+            let Some(&i) = index_of.get(&vm) else {
+                continue;
+            };
             if !running[i] {
                 continue;
             }
@@ -174,6 +327,7 @@ mod tests {
     use deflate_core::resources::ResourceVector;
     use deflate_hypervisor::domain::DeflationMechanism;
     use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
+    use deflate_transient::signal::{CapacityProfile, TransientConfig};
     use std::sync::Arc;
 
     fn small_workload(num_vms: usize, seed: u64) -> Vec<crate::spec::WorkloadVm> {
@@ -203,33 +357,31 @@ mod tests {
     #[test]
     fn uncontended_cluster_admits_everything_with_no_loss() {
         let workload = small_workload(150, 11);
-        let servers = crate::spec::min_cluster_size(
-            &workload,
-            ResourceVector::cpu_mem(48_000.0, 131_072.0),
-        );
+        let servers =
+            crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0));
         let sim = ClusterSimulation::new(config(servers), proportional());
         let result = sim.run(&workload);
         assert_eq!(result.records.len(), workload.len());
         assert!(result.failure_probability() < 0.02);
         assert!(result.mean_throughput_loss() < 0.01);
         assert!(result.counters.attempts() >= workload.len());
+        // No capacity schedule → no transient activity.
+        assert_eq!(result.transient.reclaim_events, 0);
+        assert!(result.migrations.is_empty());
     }
 
     #[test]
     fn overcommitted_cluster_deflates_instead_of_failing() {
         let workload = small_workload(200, 13);
-        let baseline = crate::spec::min_cluster_size(
-            &workload,
-            ResourceVector::cpu_mem(48_000.0, 131_072.0),
-        );
+        let baseline =
+            crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0));
         let shrunk = (baseline as f64 / 1.5).floor().max(1.0) as usize;
         let sim = ClusterSimulation::new(config(shrunk), proportional());
         let result = sim.run(&workload);
         // Deflation happened.
         assert!(result.counters.admitted_with_deflation > 0 || result.deflated_vm_fraction() > 0.0);
         // Failure probability stays far below the preemption baseline.
-        let preemption_sim =
-            ClusterSimulation::new(config(shrunk), ReclamationMode::Preemption);
+        let preemption_sim = ClusterSimulation::new(config(shrunk), ReclamationMode::Preemption);
         let preemption = preemption_sim.run(&workload);
         assert!(
             result.failure_probability() <= preemption.failure_probability(),
@@ -248,18 +400,18 @@ mod tests {
     #[test]
     fn policies_are_all_runnable() {
         let workload = small_workload(100, 17);
-        let servers = (crate::spec::min_cluster_size(
-            &workload,
-            ResourceVector::cpu_mem(48_000.0, 131_072.0),
-        ) as f64
-            / 1.4)
-            .floor()
-            .max(1.0) as usize;
+        let servers =
+            (crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0))
+                as f64
+                / 1.4)
+                .floor()
+                .max(1.0) as usize;
         for mode in [
             ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default())),
             ReclamationMode::Deflation(Arc::new(PriorityDeflation::default())),
             ReclamationMode::Deflation(Arc::new(DeterministicDeflation::binary())),
             ReclamationMode::Preemption,
+            ReclamationMode::MigrationOnly,
         ] {
             let name = mode.name().to_string();
             let sim = ClusterSimulation::new(config(servers), mode);
@@ -273,10 +425,8 @@ mod tests {
     #[test]
     fn allocation_histories_start_at_admission() {
         let workload = small_workload(80, 23);
-        let servers = crate::spec::min_cluster_size(
-            &workload,
-            ResourceVector::cpu_mem(48_000.0, 131_072.0),
-        );
+        let servers =
+            crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0));
         let sim = ClusterSimulation::new(config(servers), proportional());
         let result = sim.run(&workload);
         for record in result
@@ -298,14 +448,85 @@ mod tests {
     #[test]
     fn partitioned_placement_runs() {
         let workload = small_workload(120, 29);
-        let baseline = crate::spec::min_cluster_size(
-            &workload,
-            ResourceVector::cpu_mem(48_000.0, 131_072.0),
-        );
+        let baseline =
+            crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0));
         let mut cfg = config((baseline as f64 / 1.3).floor().max(2.0) as usize);
         cfg.partitions = PartitionScheme::ByPriority { pools: 2 };
         let sim = ClusterSimulation::new(cfg, proportional());
         let result = sim.run(&workload);
         assert!(result.failure_probability() <= 1.0);
+    }
+
+    #[test]
+    fn capacity_schedule_triggers_reclaims_and_utilization_ticks() {
+        let workload = small_workload(150, 31);
+        let servers =
+            crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0));
+        let schedule = deflate_transient::signal::CapacitySchedule::generate(&TransientConfig {
+            num_servers: servers,
+            transient_fraction: 1.0,
+            duration_secs: 12.0 * 3600.0,
+            profile: CapacityProfile::SquareWave {
+                period_secs: 2.0 * 3600.0,
+                keep_fraction: 0.5,
+                duty: 0.4,
+            },
+            seed: 5,
+        });
+        assert!(!schedule.is_empty());
+        let sim = ClusterSimulation::new(config(servers), proportional())
+            .with_capacity_schedule(schedule.clone())
+            .with_utilization_ticks(1800.0)
+            .with_migrate_back(true);
+        let result = sim.run(&workload);
+        assert_eq!(result.transient.reclaim_events, schedule.reclaim_count());
+        assert!(result.transient.restore_events > 0);
+        assert!(!result.utilization.is_empty());
+        for &(_, u) in &result.utilization {
+            assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+        // Deterministic: the same run again yields the identical result.
+        let again = ClusterSimulation::new(config(servers), proportional())
+            .with_capacity_schedule(schedule)
+            .with_utilization_ticks(1800.0)
+            .with_migrate_back(true)
+            .run(&workload);
+        assert_eq!(result, again);
+    }
+
+    #[test]
+    fn deflation_survives_reclamation_better_than_preemption() {
+        let workload = small_workload(180, 37);
+        let servers =
+            crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0));
+        let schedule = deflate_transient::signal::CapacitySchedule::generate(&TransientConfig {
+            num_servers: servers,
+            transient_fraction: 1.0,
+            duration_secs: 12.0 * 3600.0,
+            profile: CapacityProfile::SquareWave {
+                period_secs: 3.0 * 3600.0,
+                keep_fraction: 0.4,
+                duty: 0.3,
+            },
+            seed: 9,
+        });
+        let run = |mode: ReclamationMode| {
+            ClusterSimulation::new(config(servers), mode)
+                .with_capacity_schedule(schedule.clone())
+                .run(&workload)
+        };
+        let deflation = run(proportional());
+        let preemption = run(ReclamationMode::Preemption);
+        assert!(
+            deflation.failure_probability() < preemption.failure_probability(),
+            "deflation {} should beat preemption {}",
+            deflation.failure_probability(),
+            preemption.failure_probability()
+        );
+        // Preemption killed VMs; deflation absorbed (most of) the shock.
+        assert!(preemption.transient.reclamation_victims > 0);
+        assert!(
+            deflation.transient.absorbed_by_deflation > 0 || deflation.transient.migrations > 0
+        );
     }
 }

@@ -156,6 +156,23 @@ pub fn servers_for_overcommitment(
     ((baseline / factor).floor() as usize).max(1)
 }
 
+/// The number of servers that yields the requested overcommitment level
+/// against the *mean available* capacity of a transient cluster: a provider
+/// that reclaims capacity with time-average availability `a` effectively
+/// offers `a · capacity` per server, so holding the overcommitment target
+/// constant requires `1/a` times the servers of the static sizing.
+pub fn servers_for_transient_overcommitment(
+    vms: &[WorkloadVm],
+    server_capacity: ResourceVector,
+    overcommitment: f64,
+    mean_availability: f64,
+) -> usize {
+    let baseline = min_cluster_size(vms, server_capacity) as f64;
+    let availability = mean_availability.clamp(1e-9, 1.0);
+    let factor = (1.0 + overcommitment.max(0.0)) * availability;
+    ((baseline / factor).floor() as usize).max(1)
+}
+
 /// The overcommitment level a given server count corresponds to.
 pub fn overcommitment_of(
     vms: &[WorkloadVm],

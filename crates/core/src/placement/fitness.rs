@@ -147,9 +147,7 @@ mod tests {
         // Placing onto a server that only has deflatable headroom left is
         // flagged as requiring deflation.
         let demand = vm(8_000.0, 2_048.0);
-        let d = CosineFitness::default()
-            .place(&demand, &[fresh])
-            .unwrap();
+        let d = CosineFitness::default().place(&demand, &[fresh]).unwrap();
         assert!(d.requires_deflation);
     }
 

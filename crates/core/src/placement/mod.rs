@@ -24,7 +24,7 @@ pub mod partition;
 
 pub use binpack::{BestFit, FirstFit, WorstFit};
 pub use fitness::CosineFitness;
-pub use partition::{PartitionedPlacement, PartitionScheme};
+pub use partition::{PartitionScheme, PartitionedPlacement};
 
 use crate::resources::ResourceVector;
 use crate::vm::{Priority, ServerId, VmSpec};

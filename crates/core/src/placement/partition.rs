@@ -45,8 +45,8 @@ impl PartitionScheme {
                     .collect()
             }
             PartitionScheme::OnDemandSplit { on_demand_fraction } => {
-                let cut = ((n_servers as f64) * on_demand_fraction.clamp(0.0, 1.0)).round()
-                    as usize;
+                let cut =
+                    ((n_servers as f64) * on_demand_fraction.clamp(0.0, 1.0)).round() as usize;
                 (0..n_servers)
                     .map(|i| Some(if i < cut { 1 } else { 0 }))
                     .collect()
@@ -58,9 +58,7 @@ impl PartitionScheme {
     pub fn partition_of(&self, deflatable: bool, priority: Priority) -> Option<u8> {
         match self {
             PartitionScheme::None => None,
-            PartitionScheme::ByPriority { pools } => {
-                Some(partition_for_priority(priority, *pools))
-            }
+            PartitionScheme::ByPriority { pools } => Some(partition_for_priority(priority, *pools)),
             PartitionScheme::OnDemandSplit { .. } => Some(if deflatable { 0 } else { 1 }),
         }
     }

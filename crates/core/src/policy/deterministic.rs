@@ -11,7 +11,7 @@ use super::{build_plan, DeflationPolicy, ScalarPlan, VmResourceState};
 use serde::{Deserialize, Serialize};
 
 /// Deterministic deflation policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct DeterministicDeflation {
     /// When `true`, the last VM in the deflation order may be deflated
     /// *partially* (between `π·M` and `M`) so that exactly the demanded
@@ -19,14 +19,6 @@ pub struct DeterministicDeflation {
     /// (`allow_partial_last = false`); the relaxation is provided for
     /// ablation experiments.
     pub allow_partial_last: bool,
-}
-
-impl Default for DeterministicDeflation {
-    fn default() -> Self {
-        DeterministicDeflation {
-            allow_partial_last: false,
-        }
-    }
 }
 
 impl DeterministicDeflation {

@@ -95,7 +95,10 @@ impl ScalarPlan {
 
     /// Look up the planned allocation for a VM.
     pub fn target_for(&self, vm: VmId) -> Option<f64> {
-        self.targets.iter().find(|(id, _)| *id == vm).map(|(_, t)| *t)
+        self.targets
+            .iter()
+            .find(|(id, _)| *id == vm)
+            .map(|(_, t)| *t)
     }
 }
 
@@ -125,11 +128,7 @@ pub trait DeflationPolicy: Send + Sync {
 /// been fixed: the paper's closed-form α only applies when no VM hits its
 /// bound, so the water-filling loop re-solves the closed form over the
 /// unsaturated set until a fixed point is reached.
-pub(crate) fn weighted_fill(
-    headrooms: &[f64],
-    weights: &[f64],
-    demand: f64,
-) -> (Vec<f64>, f64) {
+pub(crate) fn weighted_fill(headrooms: &[f64], weights: &[f64], demand: f64) -> (Vec<f64>, f64) {
     debug_assert_eq!(headrooms.len(), weights.len());
     let n = headrooms.len();
     let mut take = vec![0.0f64; n];
@@ -175,11 +174,7 @@ pub(crate) fn weighted_fill(
 /// honouring each VM's reinflatable headroom. Mirror image of
 /// [`weighted_fill`]; returns per-VM returned amounts and the surplus that
 /// could not be placed.
-pub(crate) fn weighted_return(
-    headrooms: &[f64],
-    weights: &[f64],
-    give: f64,
-) -> (Vec<f64>, f64) {
+pub(crate) fn weighted_return(headrooms: &[f64], weights: &[f64], give: f64) -> (Vec<f64>, f64) {
     weighted_fill(headrooms, weights, give)
 }
 

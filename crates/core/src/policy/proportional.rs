@@ -15,7 +15,9 @@
 //! remaining VMs (water-filling), which is exactly the fixed point of
 //! re-solving the closed form over the unsaturated set.
 
-use super::{build_plan, weighted_fill, weighted_return, DeflationPolicy, ScalarPlan, VmResourceState};
+use super::{
+    build_plan, weighted_fill, weighted_return, DeflationPolicy, ScalarPlan, VmResourceState,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which weight the proportional share uses.
@@ -163,7 +165,7 @@ mod tests {
         let t2 = plan.target_for(VmId(2)).unwrap();
         // Naive proportional shares would be 4 each, but VM 1 only has 2 of
         // headroom; VM 2 absorbs the rest.
-        assert!(t1 >= 0.0 - 1e-9 && t1 <= 2.0 + 1e-9);
+        assert!((-1e-9..=2.0 + 1e-9).contains(&t1));
         assert!(((2.0 - t1) + (10.0 - t2) - 8.0).abs() < 1e-9);
     }
 

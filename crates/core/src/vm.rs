@@ -94,12 +94,7 @@ impl Priority {
     /// The four discrete priority levels used by the paper's cluster
     /// simulation (§7.1.2: "we determine VM priorities based on their 95-th
     /// percentile CPU usage and use 4 priority levels").
-    pub const LEVELS: [Priority; 4] = [
-        Priority(0.2),
-        Priority(0.4),
-        Priority(0.6),
-        Priority(0.8),
-    ];
+    pub const LEVELS: [Priority; 4] = [Priority(0.2), Priority(0.4), Priority(0.6), Priority(0.8)];
 
     /// Map a 95th-percentile CPU utilisation (in `[0, 1]`) to one of the four
     /// discrete priority levels: heavier VMs get higher priority so that they

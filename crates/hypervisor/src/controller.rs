@@ -165,6 +165,45 @@ impl LocalController {
         Ok(())
     }
 
+    /// Handle a provider-side **capacity restitution**: grow the server to
+    /// `new_capacity` and reinflate residents into the returned room.
+    pub fn restore_capacity(&mut self, new_capacity: ResourceVector) {
+        self.server.set_capacity(new_capacity);
+        self.reinflate();
+    }
+
+    /// Deflate residents until their effective allocations fit the server's
+    /// current capacity (or the policy's headroom is exhausted) — the
+    /// server-local half of a provider-side **capacity reclamation**, run
+    /// after the caller shrinks the server with
+    /// [`SimServer::set_capacity`]. Returns the remaining per-resource
+    /// overage: zero when deflation alone absorbed the reclamation,
+    /// positive when the caller must fall back to migrating or destroying
+    /// residents.
+    pub fn deflate_into_capacity(&mut self) -> ResourceVector {
+        let over = self
+            .server
+            .effective_used()
+            .saturating_sub(&self.server.capacity);
+        if over.is_zero() {
+            return ResourceVector::ZERO;
+        }
+        let snapshot_before: Vec<(VmId, ResourceVector)> = self
+            .server
+            .domains()
+            .map(|d| (d.spec.id, d.effective_allocation()))
+            .collect();
+        let domains: Vec<_> = self.server.domains().collect();
+        let plan = VectorPlanner::plan(self.policy.as_ref(), &domains, over);
+        let targets = plan.targets.clone();
+        drop(domains);
+        let _ = self.server.apply_targets(&targets);
+        self.record_changes(&snapshot_before);
+        self.server
+            .effective_used()
+            .saturating_sub(&self.server.capacity)
+    }
+
     /// Reinflate resident VMs using whatever capacity is currently free.
     pub fn reinflate(&mut self) {
         let free = self.server.free();
@@ -299,6 +338,32 @@ mod tests {
         let notes = c.take_notifications();
         assert!(notes.iter().all(|n| !n.is_deflation()));
         assert!(!notes.is_empty());
+    }
+
+    #[test]
+    fn capacity_reclaim_deflates_and_restore_reinflates() {
+        let mut c = controller();
+        c.try_admit(vm(1, 10.0, 16_384.0)).unwrap();
+        c.try_admit(vm(2, 6.0, 8_192.0)).unwrap();
+        let full = ResourceVector::new(16_000.0, 32_768.0, 1_000.0, 10_000.0);
+        // Reclaim half the server: residents must be deflated to fit.
+        c.server_mut().set_capacity(full * 0.5);
+        let remaining = c.deflate_into_capacity();
+        assert!(remaining.is_zero(), "unabsorbed overage {remaining}");
+        assert!(c.server().check_capacity_invariant().is_ok());
+        assert!(c
+            .server()
+            .domains()
+            .any(|d| d.effective_allocation().cpu() < d.spec.max_allocation.cpu()));
+        // Restore it: everyone reinflates back to their spec.
+        c.restore_capacity(full);
+        assert!(c.server().check_capacity_invariant().is_ok());
+        for d in c.server().domains() {
+            assert_eq!(d.effective_allocation(), d.spec.max_allocation);
+        }
+        // A reclaim the free space already covers deflates nobody.
+        c.server_mut().set_capacity(full);
+        assert!(c.deflate_into_capacity().is_zero());
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl Domain {
         let mem_hotplug = self.guest.plugged_memory_mb();
         let limits = self.cgroups.limits();
         ResourceVector::new(
-            limits.cpu().min(cpu_hotplug).min(self.spec.max_allocation.cpu()),
+            limits
+                .cpu()
+                .min(cpu_hotplug)
+                .min(self.spec.max_allocation.cpu()),
             limits
                 .memory()
                 .min(mem_hotplug)
@@ -127,8 +130,7 @@ impl Domain {
         } else {
             0.0
         };
-        self.guest
-            .report_usage(usage.memory(), page_cache_mb, busy);
+        self.guest.report_usage(usage.memory(), page_cache_mb, busy);
         self.cgroups.set_usages(usage);
     }
 
@@ -330,10 +332,7 @@ mod tests {
     #[test]
     fn explicit_deflation_is_coarse_and_respects_threshold() {
         let mut d = Domain::launch_with(spec(), DeflationMechanism::Explicit);
-        d.report_guest_usage(
-            ResourceVector::new(1000.0, 5000.0, 10.0, 10.0),
-            1000.0,
-        );
+        d.report_guest_usage(ResourceVector::new(1000.0, 5000.0, 10.0, 10.0), 1000.0);
         let outcomes = d.deflate_to(ResourceVector::new(2500.0, 4000.0, 50.0, 100.0));
         let eff = d.effective_allocation();
         // CPU rounds up to 3 whole vCPUs.
@@ -354,10 +353,7 @@ mod tests {
     #[test]
     fn hybrid_reaches_exact_target_and_uses_hotplug_first() {
         let mut d = Domain::launch_with(spec(), DeflationMechanism::Hybrid);
-        d.report_guest_usage(
-            ResourceVector::new(1000.0, 5000.0, 10.0, 10.0),
-            1000.0,
-        );
+        d.report_guest_usage(ResourceVector::new(1000.0, 5000.0, 10.0, 10.0), 1000.0);
         let outcomes = d.deflate_to(ResourceVector::new(2500.0, 4000.0, 50.0, 100.0));
         let eff = d.effective_allocation();
         // Hybrid reaches the fine-grained target exactly.

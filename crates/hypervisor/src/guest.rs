@@ -138,9 +138,7 @@ impl GuestOs {
                 let busy_cores = (self.cpu_busy_fraction * self.boot_vcpus as f64).ceil();
                 (busy_cores.max(1.0)) * 1000.0
             }
-            ResourceKind::Memory => {
-                (self.rss_mb / MEMORY_BLOCK_MB).ceil() * MEMORY_BLOCK_MB
-            }
+            ResourceKind::Memory => (self.rss_mb / MEMORY_BLOCK_MB).ceil() * MEMORY_BLOCK_MB,
             ResourceKind::DiskBw | ResourceKind::NetBw => f64::INFINITY,
         }
     }

@@ -42,6 +42,18 @@ impl SimServer {
         self
     }
 
+    /// Change the server's hardware capacity (provider-side reclamation or
+    /// restitution of transient capacity, §2/§7.4).
+    ///
+    /// Lowering the capacity below the current effective usage is legal
+    /// *transiently*: the caller must immediately restore the capacity
+    /// invariant by deflating, migrating or destroying resident domains
+    /// (see `LocalController::deflate_into_capacity` and the cluster
+    /// manager's reclamation handler).
+    pub fn set_capacity(&mut self, capacity: ResourceVector) {
+        self.capacity = capacity;
+    }
+
     /// Number of resident domains.
     pub fn domain_count(&self) -> usize {
         self.domains.len()
@@ -146,7 +158,8 @@ impl SimServer {
             return Err(DeflateError::PlacementFailed { vm: spec.id });
         }
         let id = spec.id;
-        self.domains.insert(id, Domain::launch_with(spec, mechanism));
+        self.domains
+            .insert(id, Domain::launch_with(spec, mechanism));
         Ok(&self.domains[&id])
     }
 
@@ -200,19 +213,14 @@ impl SimServer {
 
     /// Destroy a domain and return it (e.g. for migration accounting).
     pub fn destroy_domain(&mut self, id: VmId) -> Result<Domain> {
-        self.domains
-            .remove(&id)
-            .ok_or(DeflateError::UnknownVm(id))
+        self.domains.remove(&id).ok_or(DeflateError::UnknownVm(id))
     }
 
     /// Apply new allocation targets to a set of domains (typically a
     /// [`VectorPlan`](deflate_core::policy::VectorPlan) computed by a
     /// deflation policy). Unknown VM ids are reported as errors; known
     /// domains are updated through their configured mechanism.
-    pub fn apply_targets(
-        &mut self,
-        targets: &BTreeMap<VmId, ResourceVector>,
-    ) -> Result<()> {
+    pub fn apply_targets(&mut self, targets: &BTreeMap<VmId, ResourceVector>) -> Result<()> {
         for (&id, &target) in targets {
             let domain = self
                 .domains

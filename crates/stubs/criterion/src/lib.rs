@@ -1,0 +1,158 @@
+//! Tiny stand-in for the parts of criterion this workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::{bench_function,
+//! benchmark_group}`, `BenchmarkGroup::{sample_size, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId::new` and `Bencher::iter`.
+//!
+//! Each benchmark body runs a fixed small number of iterations and the mean
+//! wall-clock time is printed — coarse comparisons only, no statistics.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark. Kept tiny so `cargo bench`
+/// finishes quickly; bump via `CRITERION_STUB_ITERS` if finer numbers are
+/// wanted.
+fn iterations() -> u32 {
+    std::env::var("CRITERION_STUB_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Identifier of one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the body.
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    /// Run the benchmark body a fixed number of iterations and print the
+    /// mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let iters = iterations();
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(body());
+        }
+        let mean = start.elapsed().as_secs_f64() / iters as f64;
+        println!("bench {:<60} {:>12.3} ms/iter", self.label, mean * 1000.0);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stub ignores sample sizes.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b, input);
+    }
+
+    /// No-op; kept for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            label: id.to_string(),
+        };
+        f(&mut b);
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_bodies() {
+        let mut c = Criterion;
+        let mut runs = 0;
+        c.bench_function("solo", |b| b.iter(|| runs += 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("in-group", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
+            b.iter(|| runs += x)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Marker-trait stand-in for serde.
+//!
+//! See `crates/stubs/README.md`: the workspace uses `Serialize` /
+//! `Deserialize` derives purely as decoration, so the traits are empty
+//! markers and the derives (re-exported from the `serde_derive` stub)
+//! expand to nothing. The derive macro and the trait share each name, the
+//! same arrangement the real serde crate uses.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

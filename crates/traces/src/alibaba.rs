@@ -89,9 +89,12 @@ impl AlibabaTraceGenerator {
         // fills the rest with page cache, so the *total* used memory sits
         // very close to the allocation for most of the trace (Figure 9 shows
         // >70 % of time above even a 10 %-deflated allocation); non-JVM
-        // services are more moderate.
+        // services are more moderate. The lower bound of the JVM range must
+        // stay high enough that the median container actually spends the
+        // majority of its time above a 10 %-deflated allocation (0.85 left
+        // the median right on the 50 % boundary).
         let mem_base = if is_jvm {
-            rng.gen_range(0.85..0.98)
+            rng.gen_range(0.88..0.99)
         } else {
             rng.gen_range(0.35..0.75)
         };
@@ -187,11 +190,8 @@ mod tests {
         // Figure 9: even at 10 % memory deflation most containers spend the
         // majority of time "underallocated" by the raw-occupancy metric.
         let containers = population();
-        let mean_occupancy: f64 = containers
-            .iter()
-            .map(|c| c.memory_util.mean())
-            .sum::<f64>()
-            / containers.len() as f64;
+        let mean_occupancy: f64 =
+            containers.iter().map(|c| c.memory_util.mean()).sum::<f64>() / containers.len() as f64;
         assert!(
             mean_occupancy > 0.6,
             "mean memory occupancy {mean_occupancy} too low"

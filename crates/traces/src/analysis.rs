@@ -116,37 +116,25 @@ pub fn cpu_feasibility_by_peak(
 }
 
 /// Figure 9: raw memory-occupancy feasibility of the Alibaba containers.
-pub fn memory_feasibility(
-    containers: &[ContainerTrace],
-    levels: &[f64],
-) -> Vec<FeasibilityPoint> {
+pub fn memory_feasibility(containers: &[ContainerTrace], levels: &[f64]) -> Vec<FeasibilityPoint> {
     feasibility_sweep(containers.iter().map(|c| &c.memory_util), levels)
 }
 
 /// Figure 10: distribution of memory-bus bandwidth utilisation across
 /// containers (mean per container).
 pub fn memory_bandwidth_usage(containers: &[ContainerTrace]) -> BoxplotSummary {
-    let means: Vec<f64> = containers
-        .iter()
-        .map(|c| c.memory_bw_util.mean())
-        .collect();
+    let means: Vec<f64> = containers.iter().map(|c| c.memory_bw_util.mean()).collect();
     BoxplotSummary::from_values(&means)
 }
 
 /// Figure 11: disk-bandwidth deflation feasibility of the Alibaba containers.
-pub fn disk_feasibility(
-    containers: &[ContainerTrace],
-    levels: &[f64],
-) -> Vec<FeasibilityPoint> {
+pub fn disk_feasibility(containers: &[ContainerTrace], levels: &[f64]) -> Vec<FeasibilityPoint> {
     feasibility_sweep(containers.iter().map(|c| &c.disk_util), levels)
 }
 
 /// Figure 12: network-bandwidth deflation feasibility of the Alibaba
 /// containers (incoming + outgoing traffic combined).
-pub fn network_feasibility(
-    containers: &[ContainerTrace],
-    levels: &[f64],
-) -> Vec<FeasibilityPoint> {
+pub fn network_feasibility(containers: &[ContainerTrace], levels: &[f64]) -> Vec<FeasibilityPoint> {
     feasibility_sweep(containers.iter().map(|c| &c.net_util), levels)
 }
 
@@ -289,7 +277,10 @@ mod tests {
         let mid = mean_throughput_loss(&vms, 0.5);
         let high = mean_throughput_loss(&vms, 0.9);
         assert!(low <= mid && mid <= high);
-        assert!(low < 0.05, "10% deflation should cost almost nothing: {low}");
+        assert!(
+            low < 0.05,
+            "10% deflation should cost almost nothing: {low}"
+        );
         assert_eq!(mean_throughput_loss(&[], 0.5), 0.0);
     }
 

@@ -243,8 +243,7 @@ impl AzureTraceGenerator {
         let size = ResourceVector::new(cores * 1000.0, memory_mb, 100.0, 1000.0);
 
         // Lifetime: heavy-tailed, between 30 minutes and the full horizon.
-        let lifetime_secs =
-            dist::bounded_pareto(rng, 1.1, 1800.0, horizon_secs).min(horizon_secs);
+        let lifetime_secs = dist::bounded_pareto(rng, 1.1, 1800.0, horizon_secs).min(horizon_secs);
         let start_secs = rng.gen_range(0.0..(horizon_secs - lifetime_secs).max(1.0));
 
         // Utilisation profile. Parameters are drawn per VM; the class shifts
@@ -332,7 +331,10 @@ mod tests {
             .filter(|v| v.class == VmClass::Interactive)
             .count() as f64
             / vms.len() as f64;
-        assert!((interactive - 0.5).abs() < 0.08, "interactive = {interactive}");
+        assert!(
+            (interactive - 0.5).abs() < 0.08,
+            "interactive = {interactive}"
+        );
     }
 
     #[test]
@@ -395,7 +397,10 @@ mod tests {
     #[test]
     fn priority_and_deflatability_derivation() {
         let vms = sample_population();
-        let interactive = vms.iter().find(|v| v.class == VmClass::Interactive).unwrap();
+        let interactive = vms
+            .iter()
+            .find(|v| v.class == VmClass::Interactive)
+            .unwrap();
         assert!(interactive.deflatable());
         let batch = vms
             .iter()

@@ -81,7 +81,10 @@ impl std::fmt::Display for CsvError {
                 line,
                 column,
                 value,
-            } => write!(f, "line {line}, column {column}: cannot parse number {value:?}"),
+            } => write!(
+                f,
+                "line {line}, column {column}: cannot parse number {value:?}"
+            ),
         }
     }
 }
@@ -226,7 +229,10 @@ pub fn build_traces(vmtable: &[VmTableRow], readings: &[CpuReading]) -> Vec<Azur
 }
 
 /// Convenience wrapper: parse both files and build the traces in one call.
-pub fn load_from_strings(vmtable_csv: &str, readings_csv: &str) -> Result<Vec<AzureVmTrace>, CsvError> {
+pub fn load_from_strings(
+    vmtable_csv: &str,
+    readings_csv: &str,
+) -> Result<Vec<AzureVmTrace>, CsvError> {
     let vmtable = parse_vmtable(vmtable_csv.as_bytes())?;
     let readings = parse_cpu_readings(readings_csv.as_bytes())?;
     Ok(build_traces(&vmtable, &readings))
@@ -267,14 +273,14 @@ vmC,sub2,dep3,0,1800,5.0,1.0,2.0,Unknown,1,1.75
     fn rejects_malformed_rows() {
         let err = parse_vmtable("a,b,c\n".as_bytes()).unwrap_err();
         assert!(matches!(err, CsvError::MissingColumns { expected: 11, .. }));
-        let err = parse_vmtable(
-            "vmA,s,d,zero,3600,95,20,80,Interactive,4,8\n".as_bytes(),
-        )
-        .unwrap_err();
+        let err =
+            parse_vmtable("vmA,s,d,zero,3600,95,20,80,Interactive,4,8\n".as_bytes()).unwrap_err();
         assert!(matches!(err, CsvError::BadNumber { column: 3, .. }));
         assert!(err.to_string().contains("column 3"));
         // Blank lines and comments are skipped.
-        assert!(parse_vmtable("\n# comment\n".as_bytes()).unwrap().is_empty());
+        assert!(parse_vmtable("\n# comment\n".as_bytes())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -284,8 +290,9 @@ vmC,sub2,dep3,0,1800,5.0,1.0,2.0,Unknown,1,1.75
         let a = &traces[0];
         assert_eq!(a.class, VmClass::Interactive);
         assert_eq!(a.size.cpu(), 4000.0);
-        assert_eq!(a.cpu_util.len(), 12); // one hour of 5-minute samples
-        // Readings are normalised from percent and placed at the right slots.
+        // One hour of 5-minute samples; readings are normalised from
+        // percent and placed at the right slots.
+        assert_eq!(a.cpu_util.len(), 12);
         assert!((a.cpu_util.samples()[0] - 0.40).abs() < 1e-12);
         assert!((a.cpu_util.samples()[1] - 0.60).abs() < 1e-12);
         assert!((a.cpu_util.samples()[2] - 0.90).abs() < 1e-12);

@@ -142,8 +142,7 @@ mod tests {
         let mean: f64 = (0..n).map(|_| poisson(&mut r, 4.0) as f64).sum::<f64>() / n as f64;
         assert!((mean - 4.0).abs() < 0.15, "mean was {mean}");
         // Large-lambda path.
-        let mean_large: f64 =
-            (0..n).map(|_| poisson(&mut r, 100.0) as f64).sum::<f64>() / n as f64;
+        let mean_large: f64 = (0..n).map(|_| poisson(&mut r, 100.0) as f64).sum::<f64>() / n as f64;
         assert!((mean_large - 100.0).abs() < 1.0, "mean was {mean_large}");
         assert_eq!(poisson(&mut r, 0.0), 0);
     }

@@ -30,10 +30,7 @@ impl TimeSeries {
         } else {
             DEFAULT_INTERVAL_SECS
         };
-        let samples = samples
-            .into_iter()
-            .map(|s| s.clamp(0.0, 1.0))
-            .collect();
+        let samples = samples.into_iter().map(|s| s.clamp(0.0, 1.0)).collect();
         TimeSeries {
             interval_secs,
             samples,
@@ -286,7 +283,10 @@ mod tests {
         assert!((ts.underallocation_area(0.5) - 0.3).abs() < 1e-12);
         assert!((ts.throughput_loss(0.5) - 0.3 / 1.5).abs() < 1e-12);
         assert_eq!(ts.throughput_loss(1.0), 0.0);
-        assert_eq!(TimeSeries::new(1.0, vec![0.0, 0.0]).throughput_loss(0.0), 0.0);
+        assert_eq!(
+            TimeSeries::new(1.0, vec![0.0, 0.0]).throughput_loss(0.0),
+            0.0
+        );
     }
 
     #[test]

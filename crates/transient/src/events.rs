@@ -1,0 +1,313 @@
+//! Typed simulation events and the deterministic event queue.
+//!
+//! The first-generation cluster simulator kept an ad-hoc `Vec<(f64, u8,
+//! Event)>` sorted once up front, which only knew VM arrivals and
+//! departures and relied on `Vec` sort stability for tie-breaking. This
+//! module generalises it: a binary-heap [`EventQueue`] over typed
+//! [`SimEvent`]s with a *total*, fully deterministic order — timestamp
+//! (via `f64::total_cmp`), then event kind, then entity id — so that runs
+//! are reproducible regardless of insertion order, and new event kinds
+//! (capacity reclamation/restitution, utilisation ticks) can be scheduled
+//! dynamically while the simulation is running.
+
+use deflate_core::vm::ServerId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One typed simulation event.
+///
+/// `Arrival`/`Departure` carry the *index* of the VM in the workload slice
+/// being replayed (not its [`VmId`](deflate_core::vm::VmId)) so the
+/// simulator can address its per-VM bookkeeping arrays directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// A VM (index into the workload) departs.
+    Departure(usize),
+    /// The provider restores a server's capacity to the given fraction of
+    /// its hardware capacity.
+    CapacityRestore {
+        /// Affected server.
+        server: ServerId,
+        /// Available-capacity fraction from now on.
+        available_fraction: f64,
+    },
+    /// The provider reclaims a server's capacity down to the given fraction
+    /// of its hardware capacity.
+    CapacityReclaim {
+        /// Affected server.
+        server: ServerId,
+        /// Available-capacity fraction from now on.
+        available_fraction: f64,
+    },
+    /// A VM (index into the workload) arrives.
+    Arrival(usize),
+    /// Periodic sampling point for cluster-utilisation metrics.
+    UtilizationTick,
+}
+
+impl SimEvent {
+    /// Processing rank for events sharing a timestamp. Departures run first
+    /// (they free capacity), then capacity restitutions (more room), then
+    /// reclamations (so simultaneous arrivals see the reduced capacity),
+    /// then arrivals, then metric ticks (which observe the settled state).
+    fn rank(&self) -> u8 {
+        match self {
+            SimEvent::Departure(_) => 0,
+            SimEvent::CapacityRestore { .. } => 1,
+            SimEvent::CapacityReclaim { .. } => 2,
+            SimEvent::Arrival(_) => 3,
+            SimEvent::UtilizationTick => 4,
+        }
+    }
+
+    /// Entity id used as the final tie-break among same-kind events at the
+    /// same timestamp: the workload index for VM events, the server id for
+    /// capacity events.
+    fn tie_id(&self) -> u64 {
+        match self {
+            SimEvent::Arrival(i) | SimEvent::Departure(i) => *i as u64,
+            SimEvent::CapacityReclaim { server, .. } | SimEvent::CapacityRestore { server, .. } => {
+                server.0 as u64
+            }
+            SimEvent::UtilizationTick => 0,
+        }
+    }
+}
+
+/// An event with its scheduled time.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    event: SimEvent,
+}
+
+impl Scheduled {
+    /// Total ordering key. The final component folds in the capacity
+    /// fraction (as raw bits) so the order is total over *every* field:
+    /// two `Scheduled` values compare `Equal` if and only if their keys are
+    /// bit-identical (`PartialEq` below is defined from this same key),
+    /// keeping `Ord` and `PartialEq` consistent and making pop order
+    /// independent of push order even for contradictory duplicate events.
+    fn key(&self) -> (f64, u8, u64, u64) {
+        let payload_bits = match self.event {
+            SimEvent::CapacityReclaim {
+                available_fraction, ..
+            }
+            | SimEvent::CapacityRestore {
+                available_fraction, ..
+            } => available_fraction.to_bits(),
+            _ => 0,
+        };
+        (
+            self.time,
+            self.event.rank(),
+            self.event.tie_id(),
+            payload_bits,
+        )
+    }
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (t1, r1, i1, p1) = self.key();
+        let (t2, r2, i2, p2) = other.key();
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on
+        // top.
+        t2.total_cmp(&t1)
+            .then(r2.cmp(&r1))
+            .then(i2.cmp(&i1))
+            .then(p2.cmp(&p1))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-queue of timed simulation events.
+///
+/// Events at equal timestamps are delivered in a fixed kind order (see
+/// [`SimEvent::rank`]) with entity ids breaking remaining ties, so replaying
+/// the same schedule always produces the same sequence regardless of the
+/// order events were pushed in.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// An empty queue with space for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+
+    /// Schedule an event. Non-finite timestamps are rejected with a panic —
+    /// they would corrupt the queue order.
+    pub fn push(&mut self, time: f64, event: SimEvent) {
+        assert!(time.is_finite(), "event scheduled at non-finite time");
+        self.heap.push(Scheduled { time, event });
+    }
+
+    /// Remove and return the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, SimEvent)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_kind_then_id() {
+        let mut q = EventQueue::new();
+        // Push deliberately shuffled.
+        q.push(10.0, SimEvent::Arrival(5));
+        q.push(5.0, SimEvent::UtilizationTick);
+        q.push(5.0, SimEvent::Arrival(2));
+        q.push(
+            5.0,
+            SimEvent::CapacityReclaim {
+                server: ServerId(1),
+                available_fraction: 0.5,
+            },
+        );
+        q.push(5.0, SimEvent::Departure(9));
+        q.push(
+            5.0,
+            SimEvent::CapacityRestore {
+                server: ServerId(0),
+                available_fraction: 1.0,
+            },
+        );
+        q.push(5.0, SimEvent::Arrival(1));
+        let order: Vec<(f64, SimEvent)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (5.0, SimEvent::Departure(9)),
+                (
+                    5.0,
+                    SimEvent::CapacityRestore {
+                        server: ServerId(0),
+                        available_fraction: 1.0
+                    }
+                ),
+                (
+                    5.0,
+                    SimEvent::CapacityReclaim {
+                        server: ServerId(1),
+                        available_fraction: 0.5
+                    }
+                ),
+                (5.0, SimEvent::Arrival(1)),
+                (5.0, SimEvent::Arrival(2)),
+                (5.0, SimEvent::UtilizationTick),
+                (10.0, SimEvent::Arrival(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let events = [
+            (3.0, SimEvent::Arrival(0)),
+            (1.0, SimEvent::Departure(4)),
+            (1.0, SimEvent::Arrival(4)),
+            (2.0, SimEvent::UtilizationTick),
+            (
+                1.0,
+                SimEvent::CapacityReclaim {
+                    server: ServerId(3),
+                    available_fraction: 0.25,
+                },
+            ),
+        ];
+        let drain = |order: &[usize]| -> Vec<(f64, SimEvent)> {
+            let mut q = EventQueue::with_capacity(events.len());
+            for &i in order {
+                let (t, e) = events[i];
+                q.push(t, e);
+            }
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        let forward = drain(&[0, 1, 2, 3, 4]);
+        let backward = drain(&[4, 3, 2, 1, 0]);
+        let shuffled = drain(&[2, 0, 4, 1, 3]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward, shuffled);
+        assert_eq!(forward[0].1, SimEvent::Departure(4));
+    }
+
+    #[test]
+    fn contradictory_duplicates_pop_in_a_fixed_order() {
+        // Two reclaims for the same server at the same instant with
+        // different fractions are contradictory input, but the queue must
+        // still order them identically regardless of push order.
+        let a = SimEvent::CapacityReclaim {
+            server: ServerId(2),
+            available_fraction: 0.3,
+        };
+        let b = SimEvent::CapacityReclaim {
+            server: ServerId(2),
+            available_fraction: 0.7,
+        };
+        let drain = |first: SimEvent, second: SimEvent| {
+            let mut q = EventQueue::new();
+            q.push(50.0, first);
+            q.push(50.0, second);
+            [q.pop().unwrap().1, q.pop().unwrap().1]
+        };
+        assert_eq!(drain(a, b), drain(b, a));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_times() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, SimEvent::UtilizationTick);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(2.0, SimEvent::Arrival(0));
+        q.push(1.0, SimEvent::Arrival(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(1.0));
+    }
+}

@@ -1,0 +1,41 @@
+//! # deflate-transient
+//!
+//! Provider-side **transient-capacity dynamics** for the `vmdeflate`
+//! workspace.
+//!
+//! The paper's premise (§2, §6, §7.4) is that VMs run on *transient*
+//! servers: the provider reclaims part of a server's capacity when
+//! higher-priority demand arrives and restores it later, and deflation — not
+//! preemption — should absorb those shocks. This crate supplies the two
+//! pieces that premise needs and that are independent of the cluster
+//! manager itself:
+//!
+//! * [`signal`] — seeded, trace-like **capacity signals**: per-server time
+//!   series of reclamation/restitution change-points generated from
+//!   square-wave, diurnal or bursty spot-market-style profiles, in the same
+//!   spirit as the synthetic Azure/Alibaba workload generators in
+//!   `deflate-traces`.
+//! * [`events`] — the generalized **discrete-event engine**: typed
+//!   simulation events ([`events::SimEvent`]: arrivals, departures, capacity
+//!   reclaim/restore, utilisation ticks) and a binary-heap
+//!   [`events::EventQueue`] with fully deterministic ordering (timestamp,
+//!   then event kind, then entity id).
+//!
+//! The cluster simulator (`deflate-cluster`) replays workloads through the
+//! event engine and reacts to capacity events by deflating, migrating or —
+//! only when both fail — killing resident VMs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod events;
+pub mod signal;
+
+pub use events::{EventQueue, SimEvent};
+pub use signal::{CapacityChange, CapacityProfile, CapacitySchedule, TransientConfig};
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::events::{EventQueue, SimEvent};
+    pub use crate::signal::{CapacityChange, CapacityProfile, CapacitySchedule, TransientConfig};
+}

@@ -1,0 +1,466 @@
+//! Seeded capacity-signal generators.
+//!
+//! A **capacity signal** is a per-server time series of *available-capacity
+//! fractions*: `1.0` means the server's full hardware capacity is usable,
+//! `0.4` means the provider has reclaimed 60 % of it for higher-priority
+//! (e.g. on-demand) customers. The generators below produce the three shapes
+//! the paper's transient-server discussion motivates:
+//!
+//! * **square wave** — periodic, predictable reclamation (maintenance-window
+//!   style): capacity drops to a fixed fraction for a fixed share of every
+//!   period;
+//! * **diurnal** — smooth day/night harvesting: available capacity follows a
+//!   sinusoid between 1.0 and a trough, discretised into hourly steps;
+//! * **spot market** — bursty, memoryless reclamation: outages arrive with
+//!   exponential gaps, last an exponential duration and reclaim a uniformly
+//!   drawn fraction — the shape of real spot/preemptible revocation traces.
+//!
+//! Generation is fully deterministic from [`TransientConfig::seed`], in the
+//! same spirit as the synthetic Azure/Alibaba generators in
+//! `deflate-traces`.
+
+use deflate_core::vm::ServerId;
+use deflate_traces::dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shape of the provider-side capacity signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CapacityProfile {
+    /// Periodic reclamation: every `period_secs`, capacity drops to
+    /// `keep_fraction` for `duty * period_secs` seconds. Per-server phase is
+    /// randomised so the whole cluster does not deflate in lock-step.
+    SquareWave {
+        /// Length of one reclaim/restore cycle, seconds.
+        period_secs: f64,
+        /// Available-capacity fraction while reclaimed (`0.0..1.0`).
+        keep_fraction: f64,
+        /// Fraction of each period spent reclaimed (`0.0..1.0`).
+        duty: f64,
+    },
+    /// Sinusoidal day/night harvesting between full capacity and
+    /// `trough_fraction`, discretised into `steps_per_period` change-points.
+    Diurnal {
+        /// Length of one day, seconds.
+        period_secs: f64,
+        /// Available fraction at the deepest point of the trough.
+        trough_fraction: f64,
+        /// Number of discrete capacity steps per period (e.g. 24 = hourly).
+        steps_per_period: usize,
+    },
+    /// Memoryless spot-market revocations: outage gaps and durations are
+    /// exponential, the reclaimed amount uniform.
+    SpotMarket {
+        /// Mean seconds between the end of one outage and the next.
+        mean_gap_secs: f64,
+        /// Mean outage duration, seconds.
+        mean_outage_secs: f64,
+        /// Available fraction during an outage is drawn uniformly from
+        /// `[keep_lo, keep_hi)`.
+        keep_lo: f64,
+        /// Upper bound of the uniform keep-fraction draw.
+        keep_hi: f64,
+    },
+}
+
+impl CapacityProfile {
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CapacityProfile::SquareWave { .. } => "square-wave",
+            CapacityProfile::Diurnal { .. } => "diurnal",
+            CapacityProfile::SpotMarket { .. } => "spot-market",
+        }
+    }
+
+    /// A representative default of each shape, for experiments: 4-hour
+    /// square wave keeping 50 % for a quarter of the period.
+    pub fn square_wave_default() -> Self {
+        CapacityProfile::SquareWave {
+            period_secs: 4.0 * 3600.0,
+            keep_fraction: 0.5,
+            duty: 0.25,
+        }
+    }
+
+    /// Default diurnal shape: 24-hour day dipping to 60 %, hourly steps.
+    pub fn diurnal_default() -> Self {
+        CapacityProfile::Diurnal {
+            period_secs: 24.0 * 3600.0,
+            trough_fraction: 0.6,
+            steps_per_period: 24,
+        }
+    }
+
+    /// Default spot-market shape: outages every ~3 h lasting ~30 min,
+    /// keeping 30–70 % of capacity.
+    pub fn spot_market_default() -> Self {
+        CapacityProfile::SpotMarket {
+            mean_gap_secs: 3.0 * 3600.0,
+            mean_outage_secs: 1800.0,
+            keep_lo: 0.3,
+            keep_hi: 0.7,
+        }
+    }
+
+    /// The time-average available-capacity fraction this profile converges
+    /// to, used for capacity-aware cluster sizing.
+    pub fn mean_availability(&self) -> f64 {
+        match *self {
+            CapacityProfile::SquareWave {
+                keep_fraction,
+                duty,
+                ..
+            } => 1.0 - duty.clamp(0.0, 1.0) * (1.0 - keep_fraction.clamp(0.0, 1.0)),
+            CapacityProfile::Diurnal {
+                trough_fraction, ..
+            } => 0.5 * (1.0 + trough_fraction.clamp(0.0, 1.0)),
+            CapacityProfile::SpotMarket {
+                mean_gap_secs,
+                mean_outage_secs,
+                keep_lo,
+                keep_hi,
+            } => {
+                let outage_share =
+                    mean_outage_secs.max(0.0) / (mean_gap_secs + mean_outage_secs).max(1e-9);
+                let mean_keep = 0.5 * (keep_lo + keep_hi);
+                1.0 - outage_share * (1.0 - mean_keep.clamp(0.0, 1.0))
+            }
+        }
+    }
+}
+
+/// Configuration of a transient-capacity schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientConfig {
+    /// Number of servers in the cluster.
+    pub num_servers: usize,
+    /// Fraction of servers that are transient (subject to the signal); the
+    /// rest keep full capacity for the whole run.
+    pub transient_fraction: f64,
+    /// Length of the schedule, seconds.
+    pub duration_secs: f64,
+    /// Signal shape.
+    pub profile: CapacityProfile,
+    /// RNG seed; equal seeds produce identical schedules.
+    pub seed: u64,
+}
+
+impl Default for TransientConfig {
+    fn default() -> Self {
+        TransientConfig {
+            num_servers: 16,
+            transient_fraction: 1.0,
+            duration_secs: 24.0 * 3600.0,
+            profile: CapacityProfile::square_wave_default(),
+            seed: 0xDEF1A7E,
+        }
+    }
+}
+
+/// One change-point of a server's available capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityChange {
+    /// Simulation time of the change, seconds.
+    pub time_secs: f64,
+    /// Affected server.
+    pub server: ServerId,
+    /// Available-capacity fraction from this instant on (`0.0..=1.0`).
+    pub available_fraction: f64,
+    /// True when this change lowers the fraction (a reclamation); false for
+    /// a restitution.
+    pub is_reclaim: bool,
+}
+
+/// A time-sorted sequence of per-server capacity change-points.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CapacitySchedule {
+    changes: Vec<CapacityChange>,
+}
+
+impl CapacitySchedule {
+    /// A schedule with no capacity dynamics (every server static).
+    pub fn empty() -> Self {
+        CapacitySchedule::default()
+    }
+
+    /// Generate a schedule from a configuration. Change-points are sorted by
+    /// time (ties broken by server id) and per-server fractions always
+    /// alternate direction, so replaying the schedule in order keeps every
+    /// server's state consistent.
+    pub fn generate(config: &TransientConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let transient_servers = ((config.num_servers as f64 * config.transient_fraction).round()
+            as usize)
+            .min(config.num_servers);
+        let mut changes = Vec::new();
+        for server in 0..transient_servers {
+            let id = ServerId(server as u32);
+            match config.profile {
+                CapacityProfile::SquareWave {
+                    period_secs,
+                    keep_fraction,
+                    duty,
+                } => {
+                    let period = period_secs.max(1.0);
+                    let keep = keep_fraction.clamp(0.0, 1.0);
+                    // duty <= 0 or keep >= 1 means the profile never takes
+                    // anything away: emit no events at all rather than
+                    // degenerate zero-length (or full-period) dips.
+                    if duty <= 0.0 || keep >= 1.0 {
+                        continue;
+                    }
+                    let down = (duty.clamp(0.0, 1.0) * period).max(1.0);
+                    if down >= period {
+                        continue;
+                    }
+                    let phase = rng.gen_range(0.0..period);
+                    let mut t = phase;
+                    while t < config.duration_secs {
+                        changes.push(CapacityChange {
+                            time_secs: t,
+                            server: id,
+                            available_fraction: keep,
+                            is_reclaim: true,
+                        });
+                        let up = (t + down).min(config.duration_secs);
+                        if up < config.duration_secs {
+                            changes.push(CapacityChange {
+                                time_secs: up,
+                                server: id,
+                                available_fraction: 1.0,
+                                is_reclaim: false,
+                            });
+                        }
+                        t += period;
+                    }
+                }
+                CapacityProfile::Diurnal {
+                    period_secs,
+                    trough_fraction,
+                    steps_per_period,
+                } => {
+                    let period = period_secs.max(1.0);
+                    let steps = steps_per_period.max(2);
+                    let trough = trough_fraction.clamp(0.0, 1.0);
+                    if trough >= 1.0 {
+                        continue;
+                    }
+                    let phase = rng.gen_range(0.0..period);
+                    let step_len = period / steps as f64;
+                    let mut prev = 1.0;
+                    let mut k = 1u64;
+                    loop {
+                        let t = k as f64 * step_len;
+                        if t >= config.duration_secs {
+                            break;
+                        }
+                        // Availability follows 1 - depth·(1 - cos)/2 with a
+                        // per-server phase offset.
+                        let angle = std::f64::consts::TAU * ((t + phase) / period).fract();
+                        let fraction = 1.0 - (1.0 - trough) * 0.5 * (1.0 - angle.cos());
+                        if (fraction - prev).abs() > 1e-3 {
+                            changes.push(CapacityChange {
+                                time_secs: t,
+                                server: id,
+                                available_fraction: fraction,
+                                is_reclaim: fraction < prev,
+                            });
+                            prev = fraction;
+                        }
+                        k += 1;
+                    }
+                }
+                CapacityProfile::SpotMarket {
+                    mean_gap_secs,
+                    mean_outage_secs,
+                    keep_lo,
+                    keep_hi,
+                } => {
+                    let gap_rate = 1.0 / mean_gap_secs.max(1.0);
+                    let outage_rate = 1.0 / mean_outage_secs.max(1.0);
+                    let (lo, hi) = (
+                        keep_lo.clamp(0.0, 1.0),
+                        keep_hi.clamp(0.0, 1.0).max(keep_lo.clamp(0.0, 1.0) + 1e-9),
+                    );
+                    let mut t = dist::exponential(&mut rng, gap_rate);
+                    while t < config.duration_secs {
+                        let keep = rng.gen_range(lo..hi);
+                        changes.push(CapacityChange {
+                            time_secs: t,
+                            server: id,
+                            available_fraction: keep,
+                            is_reclaim: true,
+                        });
+                        let outage = dist::exponential(&mut rng, outage_rate);
+                        let up = t + outage;
+                        if up < config.duration_secs {
+                            changes.push(CapacityChange {
+                                time_secs: up,
+                                server: id,
+                                available_fraction: 1.0,
+                                is_reclaim: false,
+                            });
+                        }
+                        t = up + dist::exponential(&mut rng, gap_rate);
+                    }
+                }
+            }
+        }
+        changes.sort_by(|a, b| {
+            a.time_secs
+                .total_cmp(&b.time_secs)
+                .then(a.server.0.cmp(&b.server.0))
+        });
+        CapacitySchedule { changes }
+    }
+
+    /// The change-points in time order.
+    pub fn changes(&self) -> &[CapacityChange] {
+        &self.changes
+    }
+
+    /// Number of change-points.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True when the schedule contains no change-points.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of reclamation change-points.
+    pub fn reclaim_count(&self) -> usize {
+        self.changes.iter().filter(|c| c.is_reclaim).count()
+    }
+
+    /// The lowest available fraction any server ever drops to (1.0 for an
+    /// empty schedule).
+    pub fn min_fraction(&self) -> f64 {
+        self.changes
+            .iter()
+            .map(|c| c.available_fraction)
+            .fold(1.0, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn config(profile: CapacityProfile) -> TransientConfig {
+        TransientConfig {
+            num_servers: 8,
+            transient_fraction: 1.0,
+            duration_secs: 48.0 * 3600.0,
+            profile,
+            seed: 7,
+        }
+    }
+
+    fn check_alternation(schedule: &CapacitySchedule) {
+        let mut fraction: HashMap<u32, f64> = HashMap::new();
+        for c in schedule.changes() {
+            let prev = fraction.entry(c.server.0).or_insert(1.0);
+            assert!(
+                (c.available_fraction < *prev) == c.is_reclaim,
+                "change at {} marked is_reclaim={} but fraction {} -> {}",
+                c.time_secs,
+                c.is_reclaim,
+                prev,
+                c.available_fraction
+            );
+            *prev = c.available_fraction;
+        }
+    }
+
+    #[test]
+    fn square_wave_alternates_and_is_deterministic() {
+        let cfg = config(CapacityProfile::square_wave_default());
+        let a = CapacitySchedule::generate(&cfg);
+        let b = CapacitySchedule::generate(&cfg);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.reclaim_count() > 0);
+        assert!(a.reclaim_count() >= a.len() / 2 - 8);
+        check_alternation(&a);
+        // ~12 cycles over 48 h with a 4 h period, per server.
+        assert!(a.reclaim_count() >= 8 * 10);
+        assert!((a.min_fraction() - 0.5).abs() < 1e-9);
+        // Sorted by time.
+        for w in a.changes().windows(2) {
+            assert!(w[0].time_secs <= w[1].time_secs);
+        }
+    }
+
+    #[test]
+    fn diurnal_stays_between_trough_and_full() {
+        let schedule = CapacitySchedule::generate(&config(CapacityProfile::diurnal_default()));
+        assert!(!schedule.is_empty());
+        check_alternation(&schedule);
+        for c in schedule.changes() {
+            assert!(c.available_fraction >= 0.6 - 1e-9);
+            assert!(c.available_fraction <= 1.0 + 1e-9);
+        }
+        assert!(schedule.min_fraction() < 0.65);
+    }
+
+    #[test]
+    fn spot_market_outages_are_bounded_and_alternate() {
+        let schedule = CapacitySchedule::generate(&config(CapacityProfile::spot_market_default()));
+        assert!(!schedule.is_empty());
+        check_alternation(&schedule);
+        for c in schedule.changes() {
+            if c.is_reclaim {
+                assert!((0.3..0.7).contains(&c.available_fraction));
+            } else {
+                assert_eq!(c.available_fraction, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_square_waves_emit_no_events() {
+        // duty 0 (never reclaims) and keep 1.0 (reclaims nothing) are both
+        // static profiles: no change-points at all.
+        for profile in [
+            CapacityProfile::SquareWave {
+                period_secs: 4.0 * 3600.0,
+                keep_fraction: 0.5,
+                duty: 0.0,
+            },
+            CapacityProfile::SquareWave {
+                period_secs: 4.0 * 3600.0,
+                keep_fraction: 1.0,
+                duty: 0.5,
+            },
+        ] {
+            assert!(
+                CapacitySchedule::generate(&config(profile)).is_empty(),
+                "{profile:?} should be static"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_fraction_limits_affected_servers() {
+        let mut cfg = config(CapacityProfile::square_wave_default());
+        cfg.transient_fraction = 0.5;
+        let schedule = CapacitySchedule::generate(&cfg);
+        let max_server = schedule.changes().iter().map(|c| c.server.0).max().unwrap();
+        assert!(max_server < 4, "server {max_server} should be static");
+        cfg.transient_fraction = 0.0;
+        assert!(CapacitySchedule::generate(&cfg).is_empty());
+    }
+
+    #[test]
+    fn mean_availability_matches_shapes() {
+        assert!((CapacityProfile::square_wave_default().mean_availability() - 0.875).abs() < 1e-9);
+        assert!((CapacityProfile::diurnal_default().mean_availability() - 0.8).abs() < 1e-9);
+        let spot = CapacityProfile::spot_market_default().mean_availability();
+        assert!(spot > 0.9 && spot < 1.0, "spot availability {spot}");
+    }
+}

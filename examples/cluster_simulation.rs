@@ -9,9 +9,7 @@
 
 use std::sync::Arc;
 use vmdeflate::cluster::prelude::*;
-use vmdeflate::core::policy::{
-    DeterministicDeflation, PriorityDeflation, ProportionalDeflation,
-};
+use vmdeflate::core::policy::{DeterministicDeflation, PriorityDeflation, ProportionalDeflation};
 use vmdeflate::core::pricing::{PricingPolicy, RateCard};
 use vmdeflate::traces::azure::{AzureTraceConfig, AzureTraceGenerator};
 

@@ -22,7 +22,10 @@ fn main() {
     let levels = [0.1, 0.3, 0.5, 0.7];
 
     println!("Fraction of time VMs exceed their deflated CPU allocation (median VM):");
-    println!("{:>20}  {:>6} {:>6} {:>6} {:>6}", "class", "10%", "30%", "50%", "70%");
+    println!(
+        "{:>20}  {:>6} {:>6} {:>6} {:>6}",
+        "class", "10%", "30%", "50%", "70%"
+    );
     for (class, points) in analysis::cpu_feasibility_by_class(&vms, &levels) {
         let row: Vec<String> = points
             .iter()

@@ -12,6 +12,7 @@
 //! * [`hypervisor`] — simulated KVM/cgroups substrate and deflation mechanisms.
 //! * [`traces`] — synthetic Azure/Alibaba trace generators and feasibility analysis.
 //! * [`appsim`] — request-level application and load-balancer simulators.
+//! * [`transient`] — provider-side capacity signals and the typed simulation event engine.
 //! * [`cluster`] — cluster manager, local controllers and the discrete-event simulator.
 
 pub use deflate_appsim as appsim;
@@ -19,6 +20,7 @@ pub use deflate_cluster as cluster;
 pub use deflate_core as core;
 pub use deflate_hypervisor as hypervisor;
 pub use deflate_traces as traces;
+pub use deflate_transient as transient;
 
 /// Workspace version string.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -28,7 +28,10 @@ fn figure14_hybrid_memory_deflation_tracks_the_paper() {
     let h40 = exp.normalized_response_time(DeflationMechanism::Hybrid, 0.40);
     assert!(t40 < 1.35, "transparent at 40%: {t40}");
     assert!(h40 < 1.05, "hybrid at 40%: {h40}");
-    assert!(t40 - h40 >= 0.05, "hybrid advantage too small: {t40} vs {h40}");
+    assert!(
+        t40 - h40 >= 0.05,
+        "hybrid advantage too small: {t40} vs {h40}"
+    );
 }
 
 #[test]

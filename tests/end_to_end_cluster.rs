@@ -4,9 +4,7 @@
 use std::sync::Arc;
 use vmdeflate::cluster::prelude::*;
 use vmdeflate::core::placement::PartitionScheme;
-use vmdeflate::core::policy::{
-    DeterministicDeflation, PriorityDeflation, ProportionalDeflation,
-};
+use vmdeflate::core::policy::{DeterministicDeflation, PriorityDeflation, ProportionalDeflation};
 use vmdeflate::core::pricing::{PricingPolicy, RateCard};
 use vmdeflate::hypervisor::domain::DeflationMechanism;
 use vmdeflate::traces::azure::{AzureTraceConfig, AzureTraceGenerator};
@@ -46,8 +44,7 @@ fn headline_claim_deflation_nearly_eliminates_preemptions() {
         ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default())),
     )
     .run(&workload);
-    let preemption =
-        ClusterSimulation::new(config, ReclamationMode::Preemption).run(&workload);
+    let preemption = ClusterSimulation::new(config, ReclamationMode::Preemption).run(&workload);
 
     assert!(
         deflation.failure_probability() < 0.02,
@@ -173,9 +170,7 @@ fn every_record_is_consistent() {
             }
         }
         assert!(record.hours_run() >= 0.0);
-        assert!(
-            record.revenue(&PricingPolicy::static_default(), &RateCard::default()) >= 0.0
-        );
+        assert!(record.revenue(&PricingPolicy::static_default(), &RateCard::default()) >= 0.0);
     }
     // Counters line up with records.
     assert_eq!(

@@ -3,9 +3,7 @@
 //! policies, exactly the §6 admission flow.
 
 use std::sync::Arc;
-use vmdeflate::core::policy::{
-    DeterministicDeflation, PriorityDeflation, ProportionalDeflation,
-};
+use vmdeflate::core::policy::{DeterministicDeflation, PriorityDeflation, ProportionalDeflation};
 use vmdeflate::core::prelude::*;
 use vmdeflate::hypervisor::prelude::*;
 
@@ -39,8 +37,7 @@ fn admission_under_pressure_respects_capacity_for_every_policy_and_mechanism() {
             DeflationMechanism::Hybrid,
             DeflationMechanism::Explicit,
         ] {
-            let mut controller =
-                LocalController::new(server(), Arc::clone(&policy), mechanism);
+            let mut controller = LocalController::new(server(), Arc::clone(&policy), mechanism);
             // Fill the server and then push three more VMs into it.
             for i in 0..7 {
                 let outcome = controller
@@ -99,7 +96,9 @@ fn departure_reinflation_is_notified_and_complete() {
     let policy = Arc::new(PriorityDeflation::default());
     let mut controller = LocalController::new(server(), policy, DeflationMechanism::Transparent);
     for i in 0..6 {
-        controller.try_admit(web_vm(i, 8.0, 0.3 + 0.1 * i as f64)).unwrap();
+        controller
+            .try_admit(web_vm(i, 8.0, 0.3 + 0.1 * i as f64))
+            .unwrap();
     }
     controller.take_notifications();
     // Remove half the VMs one by one; survivors must end fully reinflated.
@@ -107,7 +106,10 @@ fn departure_reinflation_is_notified_and_complete() {
     controller.on_departure(VmId(2)).unwrap();
     controller.on_departure(VmId(4)).unwrap();
     let notes = controller.take_notifications();
-    assert!(notes.iter().any(|n| !n.is_deflation()), "no reinflation notifications");
+    assert!(
+        notes.iter().any(|n| !n.is_deflation()),
+        "no reinflation notifications"
+    );
     for domain in controller.server().domains() {
         assert_eq!(
             domain.effective_allocation(),
@@ -140,16 +142,12 @@ fn vector_planner_matches_controller_behaviour() {
     manual.apply_targets(&targets).unwrap();
     assert!(demand.fits_within(&manual.free()));
 
-    let mut auto = LocalController::new(
-        server(),
-        Arc::new(policy),
-        DeflationMechanism::Transparent,
-    );
+    let mut auto =
+        LocalController::new(server(), Arc::new(policy), DeflationMechanism::Transparent);
     auto.try_admit(web_vm(1, 12.0, 0.5)).unwrap();
     auto.try_admit(web_vm(2, 12.0, 0.5)).unwrap();
     auto.try_admit(
-        VmSpec::deflatable(VmId(3), VmClass::Interactive, demand)
-            .with_priority(Priority::new(0.5)),
+        VmSpec::deflatable(VmId(3), VmClass::Interactive, demand).with_priority(Priority::new(0.5)),
     )
     .unwrap();
     for id in [1u64, 2] {
