@@ -8,7 +8,15 @@
 //! `deflate-transient` (square wave, diurnal, spot market) the experiment
 //! replays the same Azure-derived workload on the same seeded schedule and
 //! reports reclamation-failure probability, throughput loss, migration
-//! counts and revenue per server.
+//! counts (with their page-transfer cost) and revenue per server.
+//!
+//! Migration is **not free** here: every transfer is priced by the
+//! [`MigrationCostModel`] of `deflate-hypervisor` (page-copy time over a
+//! shared per-server bandwidth budget, racing the provider's reclamation
+//! deadline), which is precisely what makes the migration-only baseline
+//! lose VMs the paper's deflation proposal keeps alive. The
+//! [`bandwidth_sweep_table`] experiment sweeps the per-server budget to
+//! show the effect directly.
 
 use crate::report::{pct, Table};
 use crate::scale::Scale;
@@ -23,6 +31,7 @@ use deflate_core::placement::PartitionScheme;
 use deflate_core::policy::ProportionalDeflation;
 use deflate_core::pricing::{PricingPolicy, RateCard};
 use deflate_hypervisor::domain::DeflationMechanism;
+use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
 use deflate_transient::signal::{CapacityProfile, CapacitySchedule, TransientConfig};
 use std::sync::Arc;
@@ -92,10 +101,22 @@ pub fn transient_workload(scale: Scale) -> Vec<deflate_cluster::spec::WorkloadVm
     workload_from_azure(&traces, MinAllocationRule::None)
 }
 
-/// Run one mode under one capacity profile. The cluster is sized for the
-/// profile's mean availability (so all modes face the same, non-trivial
-/// pressure), all servers are transient, and displaced VMs migrate back
-/// when capacity returns.
+/// The migration cost model all transient experiments charge by default: a
+/// 10 GbE link per transfer, 30 % dirty-page overhead, a one-link
+/// per-server budget (transfers off the same server serialise) and the
+/// 30-second preemption notice GCP-style transient offerings give — short
+/// enough that draining a well-packed server by migration alone races the
+/// deadline.
+pub fn default_migration_cost() -> MigrationCostModel {
+    MigrationCostModel::lan_default()
+        .with_budget_mbps(1250.0)
+        .with_deadline_secs(30.0)
+}
+
+/// Run one mode under one capacity profile with the default migration cost
+/// model. The cluster is sized for the profile's mean availability (so all
+/// modes face the same, non-trivial pressure), all servers are transient,
+/// and displaced VMs migrate back when capacity returns.
 pub fn run_transient(scale: Scale, mode: TransientMode, profile: CapacityProfile) -> SimResult {
     run_transient_on(&transient_workload(scale), scale, mode, profile)
 }
@@ -107,6 +128,19 @@ pub fn run_transient_on(
     scale: Scale,
     mode: TransientMode,
     profile: CapacityProfile,
+) -> SimResult {
+    run_transient_costed(workload, scale, mode, profile, default_migration_cost())
+}
+
+/// [`run_transient_on`] with an explicit migration cost model (used by the
+/// bandwidth sweep; pass [`MigrationCostModel::instant`] to reproduce the
+/// historical free-migration comparison).
+pub fn run_transient_costed(
+    workload: &[deflate_cluster::spec::WorkloadVm],
+    scale: Scale,
+    mode: TransientMode,
+    profile: CapacityProfile,
+    cost: MigrationCostModel,
 ) -> SimResult {
     let capacity = paper_server_capacity();
     let servers =
@@ -128,11 +162,13 @@ pub fn run_transient_on(
     ClusterSimulation::new(config, mode.mode())
         .with_capacity_schedule(schedule)
         .with_migrate_back(true)
+        .with_migration_cost(cost)
         .run(workload)
 }
 
 /// The transient-capacity comparison as a printable table: one row per
-/// (profile, mode) pair.
+/// (profile, mode) pair, with the migration cost that used to be invisible
+/// (total page-transfer seconds, volume moved, deadline aborts).
 pub fn fig_transient_table(scale: Scale) -> Table {
     let mut table = Table::new(
         "Transient capacity: deflation vs preemption vs migration under reclamation",
@@ -143,6 +179,9 @@ pub fn fig_transient_table(scale: Scale) -> Table {
             "evictions",
             "throughput loss",
             "migrations",
+            "migration secs",
+            "moved GiB",
+            "aborts",
             "revenue/server",
         ],
     );
@@ -159,10 +198,64 @@ pub fn fig_transient_table(scale: Scale) -> Table {
                 pct(result.eviction_probability()),
                 pct(result.mean_throughput_loss()),
                 result.migration_count().to_string(),
+                format!("{:.1}", result.total_migration_secs()),
+                format!("{:.1}", result.total_migration_volume_mb() / 1024.0),
+                result.migration_abort_count().to_string(),
                 format!(
                     "{:.1}",
                     result.deflatable_revenue_per_server(&pricing, &rates)
                 ),
+            ]);
+        }
+    }
+    table
+}
+
+/// Per-server migration-bandwidth budgets the sweep explores, MiB/s
+/// (`INFINITY` reproduces the free-migration baseline).
+pub const BANDWIDTH_SWEEP_MBPS: [f64; 5] = [f64::INFINITY, 2500.0, 1250.0, 625.0, 312.5];
+
+/// The bandwidth-sweep experiment: deflation vs migration-only under the
+/// bursty spot-market profile as the per-server migration-bandwidth budget
+/// shrinks. With generous bandwidth the migration-only baseline looks
+/// almost free; every halving of the budget queues more transfers past the
+/// reclamation deadline, turning them into aborts and evictions — while
+/// deflation barely migrates at all. One row per (budget, mode) pair.
+pub fn bandwidth_sweep_table(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Migration-bandwidth sweep under spot-market reclamation",
+        &[
+            "budget MiB/s",
+            "mode",
+            "failure probability",
+            "evictions+aborts",
+            "migrations",
+            "mean migration secs",
+            "aborts",
+        ],
+    );
+    let workload = transient_workload(scale);
+    let profile = CapacityProfile::spot_market_default();
+    for budget in BANDWIDTH_SWEEP_MBPS {
+        for mode in [TransientMode::Deflation, TransientMode::MigrationOnly] {
+            let cost = if budget.is_infinite() {
+                MigrationCostModel::instant()
+            } else {
+                default_migration_cost().with_budget_mbps(budget)
+            };
+            let result = run_transient_costed(&workload, scale, mode, profile, cost);
+            table.row(&[
+                if budget.is_infinite() {
+                    "unlimited (free)".to_string()
+                } else {
+                    format!("{budget:.0}")
+                },
+                mode.name().to_string(),
+                pct(result.failure_probability()),
+                result.eviction_or_abort_count().to_string(),
+                result.migration_count().to_string(),
+                format!("{:.2}", result.mean_migration_secs()),
+                result.migration_abort_count().to_string(),
             ]);
         }
     }
@@ -191,7 +284,7 @@ mod tests {
     }
 
     #[test]
-    fn migration_only_records_migrations() {
+    fn migration_only_records_migrations_with_nonzero_cost() {
         let result = run_transient(
             Scale::Quick,
             TransientMode::MigrationOnly,
@@ -203,11 +296,62 @@ mod tests {
             result.transient
         );
         assert_eq!(result.migration_count(), result.migrations.len());
+        // Migration is no longer free: completed transfers took wall-clock
+        // time and moved bytes.
+        assert!(
+            result.total_migration_secs() > 0.0,
+            "migrations must be charged transfer time"
+        );
+        assert!(result.total_migration_volume_mb() > 0.0);
+        assert!(result
+            .migrations
+            .iter()
+            .all(|m| m.duration_secs > 0.0 && m.volume_mb > 0.0));
+    }
+
+    /// The acceptance check of the migration-cost model: under the bursty
+    /// spot-market profile with a finite per-server bandwidth budget, the
+    /// migration-only baseline loses strictly more VMs to evictions and
+    /// deadline aborts than deflation does.
+    #[test]
+    fn finite_bandwidth_makes_migration_only_lose_more_vms_than_deflation() {
+        let workload = transient_workload(Scale::Quick);
+        let profile = CapacityProfile::spot_market_default();
+        let cost = default_migration_cost();
+        let deflation = run_transient_costed(
+            &workload,
+            Scale::Quick,
+            TransientMode::Deflation,
+            profile,
+            cost,
+        );
+        let migration = run_transient_costed(
+            &workload,
+            Scale::Quick,
+            TransientMode::MigrationOnly,
+            profile,
+            cost,
+        );
+        assert!(
+            migration.eviction_or_abort_count() > deflation.eviction_or_abort_count(),
+            "migration-only evictions+aborts {} must exceed deflation's {}",
+            migration.eviction_or_abort_count(),
+            deflation.eviction_or_abort_count()
+        );
+        // The costed run reports its durations and aborts in the counters.
+        assert!(migration.total_migration_secs() > 0.0);
+        assert!(
+            migration.migration_abort_count() > 0,
+            "a one-link budget under spot outages must abort some transfers: {:?}",
+            migration.transient
+        );
     }
 
     #[test]
-    fn table_has_one_row_per_mode_and_profile() {
+    fn tables_have_one_row_per_mode_and_profile() {
         let table = fig_transient_table(Scale::Quick);
         assert_eq!(table.len(), profiles().len() * TransientMode::ALL.len());
+        let sweep = bandwidth_sweep_table(Scale::Quick);
+        assert_eq!(sweep.len(), BANDWIDTH_SWEEP_MBPS.len() * 2);
     }
 }

@@ -16,6 +16,70 @@
 //!   reclamation-failure probability (Figure 20), throughput loss
 //!   (Figure 21) and revenue (Figure 22), plus migration and
 //!   transient-capacity accounting.
+//!
+//! # The reclaim decision ladder
+//!
+//! When the provider reclaims part of a server's capacity the manager
+//! climbs a three-rung ladder, stopping at the first rung that restores
+//! the capacity invariant:
+//!
+//! 1. **deflate** residents in place via the configured policy;
+//! 2. **migrate** residents away — *costed*: each transfer takes
+//!    page-copy time under the crate's
+//!    [`MigrationCostModel`](deflate_hypervisor::migration::MigrationCostModel),
+//!    queues behind per-server bandwidth budgets, and is aborted (the VM
+//!    evicted) if the reclamation deadline expires mid-transfer;
+//! 3. **evict** whatever remains, counted as reclamation failures.
+//!
+//! The baselines cut the ladder short: preemption jumps straight to rung
+//! 3, migration-only skips rung 1.
+//!
+//! # Example
+//!
+//! A trace-driven simulation on transient servers with a capacity
+//! schedule and costed live migration:
+//!
+//! ```
+//! use deflate_cluster::prelude::*;
+//! use deflate_core::policy::ProportionalDeflation;
+//! use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
+//! use deflate_transient::signal::{CapacityProfile, CapacitySchedule, TransientConfig};
+//! use std::sync::Arc;
+//!
+//! // A small deterministic Azure-style workload…
+//! let traces = AzureTraceGenerator::generate(&AzureTraceConfig {
+//!     num_vms: 40,
+//!     duration_hours: 4.0,
+//!     seed: 7,
+//!     ..Default::default()
+//! });
+//! let workload = workload_from_azure(&traces, MinAllocationRule::None);
+//! let servers = min_cluster_size(&workload, paper_server_capacity());
+//!
+//! // …on transient servers that periodically lose half their capacity…
+//! let schedule = CapacitySchedule::generate(&TransientConfig {
+//!     num_servers: servers,
+//!     transient_fraction: 1.0,
+//!     duration_secs: 4.0 * 3600.0,
+//!     profile: CapacityProfile::square_wave_default(),
+//!     seed: 7,
+//! });
+//!
+//! // …absorbed by deflation, with costed live migration as the fallback.
+//! let result = ClusterSimulation::new(
+//!     ClusterConfig::paper_default(servers),
+//!     ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default())),
+//! )
+//! .with_capacity_schedule(schedule)
+//! .with_migration_cost(MigrationCostModel::lan_default())
+//! .with_migrate_back(true)
+//! .run(&workload);
+//!
+//! assert_eq!(result.records.len(), workload.len());
+//! assert!(result.failure_probability() <= 1.0);
+//! // Any completed migration was charged page-transfer time.
+//! assert!(result.migrations.iter().all(|m| m.duration_secs > 0.0));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,7 +91,7 @@ pub mod spec;
 
 pub use manager::{
     AdmissionCounters, CapacityChangeOutcome, ClusterConfig, ClusterManager, MigrationRecord,
-    PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
+    PendingMigration, PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
 };
 pub use metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
 pub use sim::ClusterSimulation;
@@ -37,7 +101,7 @@ pub use spec::{MinAllocationRule, WorkloadVm};
 pub mod prelude {
     pub use crate::manager::{
         AdmissionCounters, CapacityChangeOutcome, ClusterConfig, ClusterManager, MigrationRecord,
-        PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
+        PendingMigration, PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
     };
     pub use crate::metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
     pub use crate::sim::ClusterSimulation;
@@ -45,4 +109,5 @@ pub mod prelude {
         min_cluster_size, overcommitment_of, paper_server_capacity, servers_for_overcommitment,
         servers_for_transient_overcommitment, workload_from_azure, MinAllocationRule, WorkloadVm,
     };
+    pub use deflate_hypervisor::migration::MigrationCostModel;
 }

@@ -17,6 +17,21 @@
 //! The manager can also run in **preemption mode**, the baseline current
 //! clouds implement: instead of deflating resident low-priority VMs it kills
 //! them (lowest priority first) until the new VM fits.
+//!
+//! # Migration cost
+//!
+//! Migrations are priced with a [`MigrationCostModel`]: moving a VM takes
+//! `floor + hot footprint × overhead / bandwidth` seconds, each server can
+//! drive only as many concurrent transfers as its migration-bandwidth
+//! budget allows (excess transfers queue), and a transfer that cannot
+//! finish before the source's reclamation deadline is **aborted** and the
+//! VM evicted — the transient-server race of §2. While a transfer is in
+//! flight the VM is accounted on *both* ends: its domain keeps running on
+//! the source (which may transiently exceed its reclaimed capacity) and
+//! its reservation occupies the destination. The default model is
+//! [`MigrationCostModel::instant`], which reproduces the historical
+//! free-migration behaviour; simulations opt into costed migration with
+//! [`ClusterManager::with_migration_cost`].
 
 use deflate_core::error::{DeflateError, Result};
 use deflate_core::placement::{
@@ -28,6 +43,7 @@ use deflate_core::resources::{ResourceKind, ResourceVector};
 use deflate_core::vm::{ServerId, VmId, VmSpec};
 use deflate_hypervisor::controller::{AdmissionOutcome, LocalController};
 use deflate_hypervisor::domain::DeflationMechanism;
+use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_hypervisor::server::SimServer;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -205,13 +221,18 @@ pub struct TransientCounters {
     pub migrations: usize,
     /// VMs migrated back to their origin server after a restitution.
     pub migrations_back: usize,
+    /// Migrations aborted mid-transfer — the page copy could not finish
+    /// before the source's reclamation deadline (or the transfer was
+    /// cancelled by a further reclamation) and the VM was evicted.
+    pub migration_aborts: usize,
     /// Resident VMs destroyed because neither deflation nor migration could
     /// absorb a reclamation — the reclamation-failure event of Figure 20.
     pub reclamation_victims: usize,
 }
 
-/// One VM moved between servers by the reclamation handler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// One VM moved between servers by the reclamation handler. Reported when
+/// the transfer *completes* (instantly for the cost-free model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MigrationRecord {
     /// The migrated VM.
     pub vm: VmId,
@@ -219,13 +240,48 @@ pub struct MigrationRecord {
     pub from: ServerId,
     /// Server it now runs on.
     pub to: ServerId,
+    /// Wall-clock page-transfer time charged by the cost model, seconds
+    /// (0 for the cost-free instant model).
+    pub duration_secs: f64,
+    /// Bytes moved over the wire, MiB (hot footprint × dirty-page
+    /// overhead).
+    pub volume_mb: f64,
+    /// True when this was a migrate-back to the VM's origin server after a
+    /// capacity restitution.
+    pub back: bool,
+}
+
+/// A live migration that has *started* but not yet completed: the cluster
+/// manager hands these to the simulator, which schedules a
+/// `MigrationComplete` event at [`event_secs`](Self::event_secs) and feeds
+/// it back through [`ClusterManager::complete_migration`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingMigration {
+    /// Identifier of the in-flight transfer (unique within a run).
+    pub id: u64,
+    /// The migrating VM.
+    pub vm: VmId,
+    /// Source server.
+    pub from: ServerId,
+    /// Destination server.
+    pub to: ServerId,
+    /// When the page copy actually starts (queued transfers start after
+    /// earlier ones release the bandwidth budget).
+    pub start_secs: f64,
+    /// When the `MigrationComplete` event must fire: the transfer's finish
+    /// time, or the source's reclamation deadline if that expires first
+    /// (the manager then aborts the migration and evicts the VM).
+    pub event_secs: f64,
 }
 
 /// What a capacity reclamation / restitution did to the cluster.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CapacityChangeOutcome {
-    /// VMs migrated to another server.
+    /// Migrations that completed during this change (instant-model moves).
     pub migrated: Vec<MigrationRecord>,
+    /// Transfers that started and are now in flight; the caller must
+    /// schedule a `MigrationComplete` event for each.
+    pub started: Vec<PendingMigration>,
     /// VMs destroyed because nothing else worked (reclamation failures).
     pub victims: Vec<VmId>,
     /// Servers whose residents' allocations may have changed (for
@@ -241,6 +297,34 @@ impl CapacityChangeOutcome {
     }
 }
 
+/// One transfer currently on the wire.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    vm: VmId,
+    source: usize,
+    dest: usize,
+    start_secs: f64,
+    /// When the page copy would finish.
+    finish_secs: f64,
+    /// Absolute reclamation deadline; the transfer aborts (VM evicted) when
+    /// `finish_secs` exceeds it. Infinite for migrate-backs.
+    deadline_secs: f64,
+    volume_mb: f64,
+    back: bool,
+}
+
+impl InFlight {
+    fn aborts(&self) -> bool {
+        self.finish_secs > self.deadline_secs
+    }
+
+    /// When the `MigrationComplete` event fires: completion, or the
+    /// deadline if that comes first.
+    fn event_secs(&self) -> f64 {
+        self.finish_secs.min(self.deadline_secs)
+    }
+}
+
 /// The centralized cluster manager.
 pub struct ClusterManager {
     controllers: Vec<LocalController>,
@@ -249,10 +333,19 @@ pub struct ClusterManager {
     mechanism: DeflationMechanism,
     base_capacity: ResourceVector,
     mode: ReclamationMode,
+    cost_model: MigrationCostModel,
     vm_location: HashMap<VmId, usize>,
     /// First server each migrated VM ran on, for migrate-back after a
     /// capacity restitution.
     migration_origin: HashMap<VmId, usize>,
+    /// Transfers currently on the wire, by migration id.
+    in_flight: HashMap<u64, InFlight>,
+    /// Reverse index: which migration a VM is currently part of.
+    in_flight_by_vm: HashMap<VmId, u64>,
+    next_migration_id: u64,
+    /// Per-server migration-bandwidth ledger: end times of transfers that
+    /// have reserved one link worth of this server's budget.
+    bandwidth_reservations: Vec<Vec<f64>>,
     counters: AdmissionCounters,
     transient: TransientCounters,
 }
@@ -284,11 +377,50 @@ impl ClusterManager {
             mechanism: config.mechanism,
             base_capacity: config.server_capacity,
             mode,
+            cost_model: MigrationCostModel::instant(),
             vm_location: HashMap::new(),
             migration_origin: HashMap::new(),
+            in_flight: HashMap::new(),
+            in_flight_by_vm: HashMap::new(),
+            next_migration_id: 0,
+            bandwidth_reservations: vec![Vec::new(); config.num_servers],
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
         }
+    }
+
+    /// Builder-style migration cost model override. The default is
+    /// [`MigrationCostModel::instant`] (free, immediate migrations — the
+    /// historical behaviour); anything else makes migrations take
+    /// page-transfer time, respect per-server bandwidth budgets and race
+    /// the reclamation deadline.
+    pub fn with_migration_cost(mut self, model: MigrationCostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// The migration cost model in effect.
+    pub fn migration_cost(&self) -> MigrationCostModel {
+        self.cost_model
+    }
+
+    /// Number of transfers currently on the wire.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// True when the VM is part of an in-flight migration (accounted on
+    /// both its source and destination server until the transfer ends).
+    pub fn is_in_flight(&self, vm: VmId) -> bool {
+        self.in_flight_by_vm.contains_key(&vm)
+    }
+
+    /// The destination server of the VM's in-flight migration, if any —
+    /// the second server whose residents a mid-transfer departure touches.
+    pub fn in_flight_destination(&self, vm: VmId) -> Option<ServerId> {
+        let mid = self.in_flight_by_vm.get(&vm)?;
+        let flight = self.in_flight.get(mid)?;
+        Some(self.controllers[flight.dest].server().id)
     }
 
     /// Number of servers in the cluster.
@@ -331,10 +463,15 @@ impl ClusterManager {
     }
 
     /// All VMs currently running, with their CPU allocation fractions.
+    /// Each VM is reported once, from the server it is *located* on — the
+    /// destination reservation of an in-flight migration is excluded.
     pub fn running_allocation_fractions(&self) -> Vec<(VmId, f64)> {
         let mut out = Vec::new();
-        for controller in &self.controllers {
+        for (idx, controller) in self.controllers.iter().enumerate() {
             for domain in controller.server().domains() {
+                if self.vm_location.get(&domain.spec.id) != Some(&idx) {
+                    continue;
+                }
                 let max = domain.spec.max_allocation[ResourceKind::Cpu];
                 let frac = if max <= 0.0 {
                     1.0
@@ -350,6 +487,8 @@ impl ClusterManager {
     /// CPU allocation fractions of the VMs resident on one server. Used by
     /// the simulator to record allocation changes touching only the server
     /// affected by an event, which keeps large trace replays cheap.
+    /// In-flight destination reservations are excluded — a migrating VM is
+    /// reported from its source server until the transfer completes.
     pub fn allocation_fractions_on(&self, server: ServerId) -> Vec<(VmId, f64)> {
         let idx = self.server_index(server);
         if idx >= self.controllers.len() {
@@ -358,6 +497,7 @@ impl ClusterManager {
         self.controllers[idx]
             .server()
             .domains()
+            .filter(|domain| self.vm_location.get(&domain.spec.id) == Some(&idx))
             .map(|domain| {
                 let max = domain.spec.max_allocation[ResourceKind::Cpu];
                 let frac = if max <= 0.0 {
@@ -553,7 +693,9 @@ impl ClusterManager {
 
     /// Handle a provider-side **capacity reclamation** at one server: shrink
     /// it to `available_fraction` of its hardware capacity and absorb the
-    /// shock in mode-dependent order.
+    /// shock in mode-dependent order. `now_secs` is the simulation time of
+    /// the reclamation; migrations started by the handler are scheduled
+    /// from it and race the cost model's reclamation deadline.
     ///
     /// * **Deflation mode** (the paper's proposal): first deflate residents
     ///   via the configured [`DeflationPolicy`]; if the policy's headroom is
@@ -565,10 +707,17 @@ impl ClusterManager {
     ///   remainder fits (today's transient offerings).
     /// * **Migration-only mode**: migrate residents at full size to servers
     ///   with room, killing whatever cannot be placed.
+    ///
+    /// With a costed migration model the source server may transiently keep
+    /// more than its reclaimed capacity: in-flight VMs stay resident until
+    /// their `MigrationComplete` event (fed back through
+    /// [`complete_migration`](Self::complete_migration)) either lands them
+    /// on the destination or aborts them at the deadline.
     pub fn reclaim_capacity(
         &mut self,
         server: ServerId,
         available_fraction: f64,
+        now_secs: f64,
     ) -> CapacityChangeOutcome {
         let idx = self.server_index(server);
         let mut outcome = CapacityChangeOutcome::default();
@@ -581,41 +730,55 @@ impl ClusterManager {
         self.controllers[idx]
             .server_mut()
             .set_capacity(self.base_capacity * fraction);
-        self.absorb_overage(idx, &mut outcome);
+        self.absorb_overage(idx, now_secs, &mut outcome);
         // Whatever room deflation/migration/preemption left is handed back
         // to the surviving residents.
-        self.controllers[idx].reinflate();
-        debug_assert!(self.controllers[idx]
+        self.reinflate_if_fits(idx);
+        debug_assert!(self.fits_with_pending(idx));
+        outcome
+    }
+
+    /// Reinflate a server's residents — unless in-flight outbound transfers
+    /// keep it transiently over capacity, in which case there is no room to
+    /// hand out anyway (the completion of each transfer reinflates then).
+    fn reinflate_if_fits(&mut self, idx: usize) {
+        if self.controllers[idx]
             .server()
             .check_capacity_invariant()
-            .is_ok());
-        outcome
+            .is_ok()
+        {
+            self.controllers[idx].reinflate();
+        }
+    }
+
+    /// Destroy a VM's domain on one server and reinflate the survivors if
+    /// the server fits (it may not, while other transfers are in flight).
+    fn depart_and_reinflate(&mut self, idx: usize, vm: VmId) {
+        let _ = self.controllers[idx].server_mut().destroy_domain(vm);
+        self.reinflate_if_fits(idx);
     }
 
     /// Restore the capacity invariant of a server whose capacity was just
     /// changed, in mode-dependent order: deflation mode deflates first and
     /// falls back to migration then eviction; migration-only migrates then
     /// evicts; preemption evicts straight away. A no-op when the residents
-    /// already fit.
-    fn absorb_overage(&mut self, idx: usize, outcome: &mut CapacityChangeOutcome) {
-        if self.controllers[idx]
-            .server()
-            .check_capacity_invariant()
-            .is_ok()
-        {
+    /// already fit (counting in-flight transfers as already gone).
+    fn absorb_overage(&mut self, idx: usize, now_secs: f64, outcome: &mut CapacityChangeOutcome) {
+        if self.fits_with_pending(idx) {
             return;
         }
+        let deadline = now_secs + self.cost_model.reclaim_deadline_secs.max(0.0);
         match self.mode.clone() {
             ReclamationMode::Deflation(_) => {
                 if self.controllers[idx].deflate_into_capacity().is_zero() {
                     self.transient.absorbed_by_deflation += 1;
                     return;
                 }
-                self.migrate_until_fits(idx, true, outcome);
+                self.migrate_until_fits(idx, true, now_secs, deadline, outcome);
                 self.kill_until_fits(idx, outcome);
             }
             ReclamationMode::MigrationOnly => {
-                self.migrate_until_fits(idx, false, outcome);
+                self.migrate_until_fits(idx, false, now_secs, deadline, outcome);
                 self.kill_until_fits(idx, outcome);
             }
             ReclamationMode::Preemption => {
@@ -628,11 +791,14 @@ impl ClusterManager {
     /// it back to `available_fraction` of its hardware capacity, reinflate
     /// residents into the returned room and — when `migrate_back` is set —
     /// pull previously displaced VMs back to this, their origin, server.
+    /// Migrate-backs are charged by the cost model like any other transfer
+    /// (but never race a deadline — restitutions are not emergencies).
     pub fn restore_capacity(
         &mut self,
         server: ServerId,
         available_fraction: f64,
         migrate_back: bool,
+        now_secs: f64,
     ) -> CapacityChangeOutcome {
         let idx = self.server_index(server);
         let mut outcome = CapacityChangeOutcome::default();
@@ -641,20 +807,19 @@ impl ClusterManager {
         }
         let fraction = available_fraction.clamp(0.0, 1.0);
         self.transient.restore_events += 1;
-        self.controllers[idx].restore_capacity(self.base_capacity * fraction);
+        self.controllers[idx]
+            .server_mut()
+            .set_capacity(self.base_capacity * fraction);
+        self.reinflate_if_fits(idx);
         outcome.touch(server);
         // A "restitution" to a fraction below the current usage is really a
         // reclamation in disguise (e.g. a hand-built schedule with a
         // mislabelled direction): absorb it the same way rather than leaving
         // the server over capacity, and hand any room migration freed back
         // to the surviving residents.
-        if self.controllers[idx]
-            .server()
-            .check_capacity_invariant()
-            .is_err()
-        {
-            self.absorb_overage(idx, &mut outcome);
-            self.controllers[idx].reinflate();
+        if !self.fits_with_pending(idx) {
+            self.absorb_overage(idx, now_secs, &mut outcome);
+            self.reinflate_if_fits(idx);
         }
 
         if migrate_back {
@@ -662,7 +827,9 @@ impl ClusterManager {
                 .migration_origin
                 .iter()
                 .filter(|&(vm, &origin)| {
-                    origin == idx && self.vm_location.get(vm).is_some_and(|&cur| cur != idx)
+                    origin == idx
+                        && !self.in_flight_by_vm.contains_key(vm)
+                        && self.vm_location.get(vm).is_some_and(|&cur| cur != idx)
                 })
                 .map(|(&vm, _)| vm)
                 .collect();
@@ -677,79 +844,111 @@ impl ClusterManager {
                     continue;
                 };
                 let spec = domain.spec.clone();
+                let duration = self.cost_model.transfer_secs(domain);
+                let volume = self.cost_model.transfer_volume_mb(domain);
                 // Only move back when the VM fits its origin at full size —
-                // a migrate-back must never force new deflation.
-                if !spec
-                    .max_allocation
-                    .fits_within(&self.controllers[idx].server().free())
+                // a migrate-back must never force new deflation — and when
+                // the cost model allows a transfer at all.
+                if duration.is_infinite()
+                    || !spec
+                        .max_allocation
+                        .fits_within(&self.controllers[idx].server().free())
                 {
                     continue;
                 }
-                if self.controllers[current].on_departure(vm).is_err() {
-                    continue;
-                }
-                if self.controllers[idx]
-                    .server_mut()
-                    .create_domain(spec, self.mechanism)
-                    .is_ok()
-                {
-                    self.vm_location.insert(vm, idx);
-                    self.migration_origin.remove(&vm);
-                    self.transient.migrations_back += 1;
-                    outcome.migrated.push(MigrationRecord {
-                        vm,
-                        from: self.controllers[current].server().id,
-                        to: server,
-                    });
-                    outcome.touch(self.controllers[current].server().id);
+                if duration <= 0.0 {
+                    // Cost-free transfer: complete the move inline.
+                    self.depart_and_reinflate(current, vm);
+                    if self.controllers[idx]
+                        .server_mut()
+                        .create_domain(spec, self.mechanism)
+                        .is_ok()
+                    {
+                        self.vm_location.insert(vm, idx);
+                        self.migration_origin.remove(&vm);
+                        self.transient.migrations_back += 1;
+                        outcome.migrated.push(MigrationRecord {
+                            vm,
+                            from: self.controllers[current].server().id,
+                            to: server,
+                            duration_secs: 0.0,
+                            volume_mb: volume,
+                            back: true,
+                        });
+                        outcome.touch(self.controllers[current].server().id);
+                    } else {
+                        // The domain was destroyed but could not be recreated
+                        // — should not happen since we checked the fit, but
+                        // account for it rather than losing the VM silently.
+                        // The old server's residents were reinflated by the
+                        // departure, so its allocations must be re-recorded
+                        // too.
+                        self.vm_location.remove(&vm);
+                        self.migration_origin.remove(&vm);
+                        self.transient.reclamation_victims += 1;
+                        outcome.victims.push(vm);
+                        outcome.touch(self.controllers[current].server().id);
+                    }
                 } else {
-                    // The domain was destroyed but could not be recreated —
-                    // should not happen since we checked the fit, but account
-                    // for it rather than losing the VM silently. The old
-                    // server's residents were reinflated by the departure,
-                    // so its allocations must be re-recorded too.
-                    self.vm_location.remove(&vm);
-                    self.migration_origin.remove(&vm);
-                    self.transient.reclamation_victims += 1;
-                    outcome.victims.push(vm);
-                    outcome.touch(self.controllers[current].server().id);
+                    // Costed transfer: reserve the origin-side capacity now,
+                    // keep the VM running where it is, and let the
+                    // MigrationComplete event land it back home.
+                    if self.controllers[idx]
+                        .server_mut()
+                        .create_domain(spec, self.mechanism)
+                        .is_ok()
+                    {
+                        self.schedule_transfer(
+                            vm,
+                            current,
+                            idx,
+                            now_secs,
+                            f64::INFINITY,
+                            true,
+                            duration,
+                            volume,
+                            &mut outcome,
+                        );
+                    }
                 }
             }
         }
-        debug_assert!(self.controllers[idx]
-            .server()
-            .check_capacity_invariant()
-            .is_ok());
+        debug_assert!(self.fits_with_pending(idx));
         outcome
     }
 
     /// Migrate residents off an over-capacity server until its effective
-    /// usage fits. Candidates are tried most-deflated first (deflatable VMs
-    /// ordered by ascending allocation fraction, then on-demand VMs), and
-    /// each is re-admitted on the best other server — deflating that
-    /// server's residents when `deflation_aware` is set.
+    /// usage — minus what in-flight transfers have already pledged to take
+    /// away — fits. Candidates are tried most-deflated first (deflatable
+    /// VMs ordered by ascending allocation fraction, then on-demand VMs),
+    /// and each is re-admitted on the best other server — deflating that
+    /// server's residents when `deflation_aware` is set. Each migration is
+    /// charged by the cost model: instant transfers complete inline, costed
+    /// ones become in-flight (queued behind the bandwidth budget, aborted
+    /// at `deadline_secs` if the copy cannot finish in time).
     fn migrate_until_fits(
         &mut self,
         source: usize,
         deflation_aware: bool,
+        now_secs: f64,
+        deadline_secs: f64,
         outcome: &mut CapacityChangeOutcome,
     ) {
         let source_id = self.controllers[source].server().id;
         let mut attempted: Vec<VmId> = Vec::new();
         loop {
-            if self.controllers[source]
-                .server()
-                .check_capacity_invariant()
-                .is_ok()
-            {
+            if self.fits_with_pending(source) {
                 return;
             }
-            // Pick the most-deflated untried resident (deflatable first).
+            // Pick the most-deflated untried resident (deflatable first),
+            // skipping VMs already part of an in-flight transfer.
             let candidate = {
                 let server = self.controllers[source].server();
                 let mut best: Option<(bool, f64, VmId)> = None;
                 for domain in server.domains() {
-                    if attempted.contains(&domain.spec.id) {
+                    if attempted.contains(&domain.spec.id)
+                        || self.in_flight_by_vm.contains_key(&domain.spec.id)
+                    {
                         continue;
                     }
                     let max = domain.spec.max_allocation.total();
@@ -769,29 +968,221 @@ impl ClusterManager {
             };
             let Some(vm) = candidate else { return };
             attempted.push(vm);
-            let Some(spec) = self.controllers[source]
-                .server()
-                .domain(vm)
-                .map(|d| d.spec.clone())
+            let Some((spec, duration, volume)) =
+                self.controllers[source].server().domain(vm).map(|d| {
+                    (
+                        d.spec.clone(),
+                        self.cost_model.transfer_secs(d),
+                        self.cost_model.transfer_volume_mb(d),
+                    )
+                })
             else {
                 continue;
             };
+            if duration.is_infinite() {
+                // Zero link bandwidth: migration is impossible, fall
+                // through to eviction for this VM.
+                continue;
+            }
             let Some(target) = self.admit_on_best(&spec, vec![source_id], deflation_aware) else {
                 continue;
             };
-            // The VM now exists on the target; destroy the source copy
-            // without reinflating yet (the server is still over capacity).
-            let _ = self.controllers[source].server_mut().destroy_domain(vm);
-            self.vm_location.insert(vm, target);
-            self.migration_origin.entry(vm).or_insert(source);
-            self.transient.migrations += 1;
-            outcome.migrated.push(MigrationRecord {
-                vm,
-                from: source_id,
-                to: self.controllers[target].server().id,
-            });
-            outcome.touch(self.controllers[target].server().id);
+            if duration <= 0.0 {
+                // Cost-free transfer: the VM now exists on the target;
+                // destroy the source copy without reinflating yet (the
+                // server is still over capacity).
+                let _ = self.controllers[source].server_mut().destroy_domain(vm);
+                self.vm_location.insert(vm, target);
+                self.migration_origin.entry(vm).or_insert(source);
+                self.transient.migrations += 1;
+                outcome.migrated.push(MigrationRecord {
+                    vm,
+                    from: source_id,
+                    to: self.controllers[target].server().id,
+                    duration_secs: 0.0,
+                    volume_mb: volume,
+                    back: false,
+                });
+                outcome.touch(self.controllers[target].server().id);
+            } else {
+                // Costed transfer: the destination reservation exists, the
+                // source copy keeps running until MigrationComplete.
+                self.migration_origin.entry(vm).or_insert(source);
+                self.schedule_transfer(
+                    vm,
+                    source,
+                    target,
+                    now_secs,
+                    deadline_secs,
+                    false,
+                    duration,
+                    volume,
+                    outcome,
+                );
+            }
         }
+    }
+
+    /// Book an in-flight transfer: find the earliest start respecting both
+    /// endpoints' bandwidth budgets, reserve the slots, register the
+    /// migration and report it in the outcome so the simulator can schedule
+    /// its `MigrationComplete` event.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_transfer(
+        &mut self,
+        vm: VmId,
+        source: usize,
+        dest: usize,
+        now_secs: f64,
+        deadline_secs: f64,
+        back: bool,
+        duration: f64,
+        volume_mb: f64,
+        outcome: &mut CapacityChangeOutcome,
+    ) {
+        let start = self
+            .earliest_slot(source, now_secs)
+            .max(self.earliest_slot(dest, now_secs));
+        let flight = InFlight {
+            vm,
+            source,
+            dest,
+            start_secs: start,
+            finish_secs: start + duration,
+            deadline_secs,
+            volume_mb,
+            back,
+        };
+        let event = flight.event_secs();
+        // The transfer occupies one link worth of both endpoints' budgets
+        // until it completes or is aborted at the deadline.
+        if start < deadline_secs {
+            self.reserve_slot(source, now_secs, event);
+            self.reserve_slot(dest, now_secs, event);
+        }
+        let id = self.next_migration_id;
+        self.next_migration_id += 1;
+        self.in_flight.insert(id, flight);
+        self.in_flight_by_vm.insert(vm, id);
+        outcome.started.push(PendingMigration {
+            id,
+            vm,
+            from: self.controllers[source].server().id,
+            to: self.controllers[dest].server().id,
+            start_secs: start,
+            event_secs: event,
+        });
+        outcome.touch(self.controllers[dest].server().id);
+    }
+
+    /// The earliest time a new transfer can start on this server given its
+    /// concurrent-transfer budget: `now` when a slot is free, otherwise the
+    /// moment enough ongoing transfers have drained.
+    fn earliest_slot(&mut self, idx: usize, now_secs: f64) -> f64 {
+        let slots = self.cost_model.concurrent_slots();
+        if slots == usize::MAX {
+            return now_secs;
+        }
+        // Drop reservations that have already drained.
+        let ledger = &mut self.bandwidth_reservations[idx];
+        ledger.retain(|&end| end > now_secs);
+        if ledger.len() < slots {
+            return now_secs;
+        }
+        let mut ends = ledger.clone();
+        ends.sort_by(f64::total_cmp);
+        ends[ends.len() - slots]
+    }
+
+    fn reserve_slot(&mut self, idx: usize, now_secs: f64, until_secs: f64) {
+        if self.cost_model.concurrent_slots() == usize::MAX || until_secs <= now_secs {
+            return;
+        }
+        self.bandwidth_reservations[idx].push(until_secs);
+    }
+
+    /// Resolve an in-flight migration when its `MigrationComplete` event
+    /// fires. If the page copy finished before the reclamation deadline the
+    /// VM lands on its destination (the source copy is destroyed and its
+    /// residents reinflate); otherwise the transfer is **aborted**: both
+    /// copies are destroyed and the VM is evicted, counted as a
+    /// reclamation victim *and* a migration abort. Unknown ids (transfers
+    /// cancelled by a departure or a forced eviction) are a no-op.
+    pub fn complete_migration(&mut self, id: u64, _now_secs: f64) -> CapacityChangeOutcome {
+        let mut outcome = CapacityChangeOutcome::default();
+        let Some(flight) = self.in_flight.remove(&id) else {
+            return outcome;
+        };
+        self.in_flight_by_vm.remove(&flight.vm);
+        let from = self.controllers[flight.source].server().id;
+        let to = self.controllers[flight.dest].server().id;
+        outcome.touch(from);
+        outcome.touch(to);
+        if flight.aborts() {
+            // The provider's deadline expired mid-transfer: the source is
+            // gone and the partial destination copy is useless.
+            self.depart_and_reinflate(flight.source, flight.vm);
+            self.depart_and_reinflate(flight.dest, flight.vm);
+            self.vm_location.remove(&flight.vm);
+            self.migration_origin.remove(&flight.vm);
+            self.transient.migration_aborts += 1;
+            self.transient.reclamation_victims += 1;
+            outcome.victims.push(flight.vm);
+        } else {
+            // Success: land on the destination, free the source.
+            self.depart_and_reinflate(flight.source, flight.vm);
+            self.vm_location.insert(flight.vm, flight.dest);
+            if flight.back {
+                self.migration_origin.remove(&flight.vm);
+                self.transient.migrations_back += 1;
+            } else {
+                self.transient.migrations += 1;
+            }
+            outcome.migrated.push(MigrationRecord {
+                vm: flight.vm,
+                from,
+                to,
+                duration_secs: flight.finish_secs - flight.start_secs,
+                volume_mb: flight.volume_mb,
+                back: flight.back,
+            });
+        }
+        outcome
+    }
+
+    /// Resources pledged to leave this server: the effective allocations of
+    /// resident domains whose in-flight transfer has this server as its
+    /// source. They still physically occupy the server but are on their way
+    /// out (or will be evicted at the deadline), so capacity checks during
+    /// a transfer subtract them.
+    fn pending_outbound(&self, idx: usize) -> ResourceVector {
+        // Sum in VM-id order, not HashMap iteration order: f64 addition is
+        // not associative and a run-to-run fold-order difference could
+        // flip a borderline fits_within decision, breaking the bit-exact
+        // determinism the simulator guarantees.
+        let mut vms: Vec<VmId> = self
+            .in_flight
+            .values()
+            .filter(|m| m.source == idx)
+            .map(|m| m.vm)
+            .collect();
+        vms.sort();
+        vms.into_iter()
+            .filter_map(|vm| self.controllers[idx].server().domain(vm))
+            .fold(ResourceVector::ZERO, |acc, d| {
+                acc + d.effective_allocation()
+            })
+    }
+
+    /// The capacity invariant adjusted for in-flight transfers: effective
+    /// usage minus pending outbound allocations fits the (possibly
+    /// reclaimed) capacity.
+    fn fits_with_pending(&self, idx: usize) -> bool {
+        let server = self.controllers[idx].server();
+        server
+            .effective_used()
+            .saturating_sub(&self.pending_outbound(idx))
+            .fits_within(&server.capacity)
     }
 
     /// Admit a VM on the best server outside `excluded`, optionally
@@ -838,40 +1229,95 @@ impl ClusterManager {
         }
     }
 
-    /// Destroy residents of an over-capacity server until the rest fits:
-    /// the last-resort path, counted as reclamation failures. Victims are
+    /// Destroy residents of an over-capacity server until the rest fits
+    /// (in-flight outbound allocations count as already gone): the
+    /// last-resort path, counted as reclamation failures. Victims are
     /// chosen lowest-priority first among deflatable VMs, then on-demand
-    /// VMs, ids breaking ties.
+    /// VMs, ids breaking ties. VMs whose transfer has this server as its
+    /// *source* are never selected — their capacity is already pledged to
+    /// leave. An inbound in-flight *reservation* can be selected, which
+    /// cancels the transfer and frees the reservation but spares the VM —
+    /// it is still running healthily on its source server.
     fn kill_until_fits(&mut self, idx: usize, outcome: &mut CapacityChangeOutcome) {
-        while self.controllers[idx]
-            .server()
-            .check_capacity_invariant()
-            .is_err()
-        {
+        while !self.fits_with_pending(idx) {
             let victim = self.controllers[idx]
                 .server()
                 .domains()
+                .filter(|d| {
+                    // Skip outbound in-flight VMs (already subtracted by
+                    // fits_with_pending; killing them would not help).
+                    self.in_flight_by_vm
+                        .get(&d.spec.id)
+                        .and_then(|mid| self.in_flight.get(mid))
+                        .is_none_or(|m| m.source != idx)
+                })
                 .map(|d| (!d.spec.deflatable, d.spec.priority.value(), d.spec.id))
                 .min_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)))
                 .map(|(_, _, id)| id);
             let Some(victim) = victim else { return };
-            let _ = self.controllers[idx].server_mut().destroy_domain(victim);
-            self.vm_location.remove(&victim);
-            self.migration_origin.remove(&victim);
-            self.transient.reclamation_victims += 1;
-            outcome.victims.push(victim);
+            self.evict_vm(idx, victim, outcome);
         }
     }
 
+    /// Make room on `idx` at the expense of `vm`. If `vm`'s domain here is
+    /// only the destination reservation of an in-flight transfer, the
+    /// transfer is cancelled (counted as an abort) and the VM survives on
+    /// its source server; otherwise the VM is destroyed everywhere and
+    /// counted as a reclamation victim.
+    fn evict_vm(&mut self, idx: usize, vm: VmId, outcome: &mut CapacityChangeOutcome) {
+        if let Some(&mid) = self.in_flight_by_vm.get(&vm) {
+            let Some(flight) = self.in_flight.get(&mid).copied() else {
+                return;
+            };
+            self.in_flight_by_vm.remove(&vm);
+            self.in_flight.remove(&mid);
+            // The migration is aborted either way. (Its bandwidth
+            // reservation is left to drain — the link was in use until the
+            // abort.)
+            self.transient.migration_aborts += 1;
+            outcome.touch(self.controllers[flight.source].server().id);
+            outcome.touch(self.controllers[flight.dest].server().id);
+            if flight.dest == idx && self.fits_with_pending(flight.source) {
+                // Only the reservation lives here, and the source does not
+                // need this transfer to restore its own invariant (true
+                // for migrate-backs and for sources that have recovered):
+                // drop the reservation and keep the VM running where it
+                // is. It stays displaced, so its migrate-back eligibility
+                // (if any) is preserved.
+                self.depart_and_reinflate(flight.dest, vm);
+                return;
+            }
+            // The running copy lives here (or the source relies on this
+            // transfer to drain): the VM is lost mid-transfer.
+            self.depart_and_reinflate(flight.source, vm);
+            self.depart_and_reinflate(flight.dest, vm);
+        } else if let Some(&loc) = self.vm_location.get(&vm) {
+            let _ = self.controllers[loc].server_mut().destroy_domain(vm);
+        }
+        self.vm_location.remove(&vm);
+        self.migration_origin.remove(&vm);
+        self.transient.reclamation_victims += 1;
+        outcome.victims.push(vm);
+    }
+
     /// Handle a VM departure: remove its domain and reinflate the residents
-    /// of the server it was on.
+    /// of the server it was on. A departure mid-transfer cancels the
+    /// migration and frees both ends (the pending `MigrationComplete` event
+    /// then resolves to a no-op).
     pub fn remove_vm(&mut self, vm: VmId) -> Result<()> {
         let idx = self
             .vm_location
             .remove(&vm)
             .ok_or(DeflateError::UnknownVm(vm))?;
         self.migration_origin.remove(&vm);
-        self.controllers[idx].on_departure(vm)
+        if let Some(mid) = self.in_flight_by_vm.remove(&vm) {
+            if let Some(flight) = self.in_flight.remove(&mid) {
+                self.depart_and_reinflate(flight.dest, vm);
+            }
+        }
+        self.controllers[idx].server_mut().destroy_domain(vm)?;
+        self.reinflate_if_fits(idx);
+        Ok(())
     }
 
     /// The partition scheme in effect (used by experiment harnesses for
@@ -880,12 +1326,12 @@ impl ClusterManager {
         self.partitions
     }
 
-    /// Check every server's capacity invariant (panics in debug builds when
-    /// violated; used by tests).
+    /// Check every server's capacity invariant, allowing in-flight
+    /// transfers' pending outbound allocations to transiently exceed a
+    /// reclaimed source's capacity (used by tests and debug assertions).
+    /// With no transfer in flight this is the strict physical invariant.
     pub fn check_invariants(&self) -> bool {
-        self.controllers
-            .iter()
-            .all(|c| c.server().check_capacity_invariant().is_ok())
+        (0..self.controllers.len()).all(|idx| self.fits_with_pending(idx))
     }
 }
 
@@ -1004,7 +1450,7 @@ mod tests {
         }
         // Halve server 0: both servers are full, so nothing can migrate and
         // the residents must be deflated in place.
-        let outcome = cluster.reclaim_capacity(ServerId(0), 0.5);
+        let outcome = cluster.reclaim_capacity(ServerId(0), 0.5, 0.0);
         assert!(
             outcome.victims.is_empty(),
             "deflation should absorb: {outcome:?}"
@@ -1018,7 +1464,7 @@ mod tests {
         assert_eq!(cluster.transient_counters().reclaim_events, 1);
         assert_eq!(cluster.transient_counters().absorbed_by_deflation, 1);
         // Give it back: everyone reinflates to full.
-        cluster.restore_capacity(ServerId(0), 1.0, false);
+        cluster.restore_capacity(ServerId(0), 1.0, false, 0.0);
         assert!(cluster
             .running_allocation_fractions()
             .iter()
@@ -1033,7 +1479,7 @@ mod tests {
         }
         // A "restore" to half capacity while residents use all of it is a
         // reclamation in disguise: the invariant must still hold afterwards.
-        let outcome = cluster.restore_capacity(ServerId(0), 0.5, false);
+        let outcome = cluster.restore_capacity(ServerId(0), 0.5, false, 0.0);
         assert!(cluster.check_invariants());
         assert!(outcome.victims.is_empty());
         assert!(cluster
@@ -1065,6 +1511,197 @@ mod tests {
         assert!(cluster.locate(VmId(1)).is_some());
         assert_eq!(cluster.cpu_allocation_fraction(VmId(1)), Some(1.0));
         assert_eq!(cluster.cpu_allocation_fraction(VmId(42)), None);
+    }
+
+    /// A slow-but-unconstrained cost model: 100 MiB/s links, no dirty-page
+    /// overhead, no floor, one transfer slot per server, no deadline.
+    fn slow_model() -> MigrationCostModel {
+        MigrationCostModel {
+            link_bandwidth_mbps: 100.0,
+            dirty_page_overhead: 1.0,
+            setup_floor_secs: 0.0,
+            per_server_bandwidth_mbps: 100.0,
+            reclaim_deadline_secs: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn costed_migration_is_asynchronous_and_lands_on_completion() {
+        let mut cluster =
+            small_cluster(ReclamationMode::MigrationOnly).with_migration_cost(slow_model());
+        assert!(cluster.place_vm(vm(1, 8.0, 0.5)).is_placed());
+        let source = cluster.locate(VmId(1)).unwrap();
+        let dest_expected = ServerId(1 - source.0);
+        // Reclaim the VM's server below its footprint: it must migrate, and
+        // with a costed model the transfer is in flight, not instant.
+        let outcome = cluster.reclaim_capacity(source, 0.4, 100.0);
+        assert_eq!(outcome.started.len(), 1, "outcome: {outcome:?}");
+        assert!(outcome.migrated.is_empty());
+        assert!(outcome.victims.is_empty());
+        let pending = outcome.started[0];
+        assert_eq!(pending.vm, VmId(1));
+        assert_eq!(pending.from, source);
+        assert_eq!(pending.to, dest_expected);
+        assert_eq!(pending.start_secs, 100.0);
+        // Fresh 8192 MiB guest: hot footprint 4096 MiB at 100 MiB/s.
+        assert!((pending.event_secs - (100.0 + 40.96)).abs() < 1e-9);
+        // In flight: accounted on both ends, located on the source, and
+        // reported exactly once.
+        assert_eq!(cluster.in_flight_count(), 1);
+        assert!(cluster.is_in_flight(VmId(1)));
+        assert_eq!(cluster.locate(VmId(1)), Some(source));
+        assert_eq!(cluster.running_allocation_fractions().len(), 1);
+        assert!(cluster.check_invariants());
+        assert_eq!(cluster.transient_counters().migrations, 0);
+        // Completion lands the VM on the destination with its cost.
+        let done = cluster.complete_migration(pending.id, pending.event_secs);
+        assert_eq!(done.migrated.len(), 1);
+        assert!((done.migrated[0].duration_secs - 40.96).abs() < 1e-9);
+        assert!((done.migrated[0].volume_mb - 4096.0).abs() < 1e-9);
+        assert!(!done.migrated[0].back);
+        assert_eq!(cluster.locate(VmId(1)), Some(dest_expected));
+        assert_eq!(cluster.in_flight_count(), 0);
+        assert_eq!(cluster.transient_counters().migrations, 1);
+        assert!(cluster.check_invariants());
+        // A stale completion id is a no-op.
+        assert_eq!(
+            cluster.complete_migration(pending.id, 1e9),
+            CapacityChangeOutcome::default()
+        );
+    }
+
+    #[test]
+    fn migration_aborts_when_deadline_expires_mid_transfer() {
+        let model = slow_model().with_deadline_secs(10.0);
+        let mut cluster = small_cluster(ReclamationMode::MigrationOnly).with_migration_cost(model);
+        assert!(cluster.place_vm(vm(1, 8.0, 0.5)).is_placed());
+        let source = cluster.locate(VmId(1)).unwrap();
+        let outcome = cluster.reclaim_capacity(source, 0.4, 100.0);
+        assert_eq!(outcome.started.len(), 1);
+        let pending = outcome.started[0];
+        // The ~41 s transfer cannot finish inside the 10 s deadline: the
+        // completion event fires at the deadline instead.
+        assert!((pending.event_secs - 110.0).abs() < 1e-9);
+        let done = cluster.complete_migration(pending.id, pending.event_secs);
+        assert_eq!(done.victims, vec![VmId(1)]);
+        assert!(done.migrated.is_empty());
+        assert_eq!(cluster.transient_counters().migration_aborts, 1);
+        assert_eq!(cluster.transient_counters().reclamation_victims, 1);
+        assert_eq!(cluster.locate(VmId(1)), None);
+        assert_eq!(cluster.running_allocation_fractions().len(), 0);
+        assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn bandwidth_budget_queues_excess_transfers() {
+        let config = ClusterConfig {
+            num_servers: 3,
+            server_capacity: ResourceVector::cpu_mem(16_000.0, 32_768.0),
+            placement: PlacementKind::FirstFit,
+            partitions: PartitionScheme::None,
+            mechanism: DeflationMechanism::Transparent,
+        };
+        let mut cluster = ClusterManager::new(&config, ReclamationMode::MigrationOnly)
+            .with_migration_cost(slow_model());
+        // First-fit packs both VMs onto server 0.
+        assert!(cluster.place_vm(vm(1, 8.0, 0.5)).is_placed());
+        assert!(cluster.place_vm(vm(2, 8.0, 0.5)).is_placed());
+        assert_eq!(cluster.locate(VmId(1)), Some(ServerId(0)));
+        assert_eq!(cluster.locate(VmId(2)), Some(ServerId(0)));
+        // Reclaim almost everything: both VMs must migrate, but the budget
+        // allows only one concurrent transfer per server, so the second
+        // starts when the first finishes.
+        let outcome = cluster.reclaim_capacity(ServerId(0), 0.1, 0.0);
+        assert_eq!(outcome.started.len(), 2, "outcome: {outcome:?}");
+        let (first, second) = (outcome.started[0], outcome.started[1]);
+        assert_eq!(first.start_secs, 0.0);
+        assert!(
+            (second.start_secs - first.event_secs).abs() < 1e-9,
+            "second transfer must queue behind the first: {outcome:?}"
+        );
+        assert!(cluster.check_invariants());
+        for pending in [first, second] {
+            cluster.complete_migration(pending.id, pending.event_secs);
+        }
+        assert_eq!(cluster.transient_counters().migrations, 2);
+        assert_eq!(cluster.transient_counters().migration_aborts, 0);
+        assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn reclaim_cancels_inbound_migrate_back_without_evicting() {
+        let mut cluster =
+            small_cluster(ReclamationMode::MigrationOnly).with_migration_cost(slow_model());
+        assert!(cluster.place_vm(vm(1, 8.0, 0.5)).is_placed());
+        let origin = cluster.locate(VmId(1)).unwrap();
+        let refuge = ServerId(1 - origin.0);
+        // Displace the VM, complete the transfer, then restore the origin
+        // so a migrate-back gets in flight.
+        let out = cluster.reclaim_capacity(origin, 0.4, 0.0);
+        let forward = out.started[0];
+        cluster.complete_migration(forward.id, forward.event_secs);
+        assert_eq!(cluster.locate(VmId(1)), Some(refuge));
+        let restore = cluster.restore_capacity(origin, 1.0, true, 1000.0);
+        assert_eq!(restore.started.len(), 1, "migrate-back must be costed");
+        let back = restore.started[0];
+        assert_eq!(back.to, origin);
+        // A new reclamation at the origin hits only the inbound
+        // reservation: the transfer is cancelled but the VM — running
+        // healthily on the other server — survives.
+        let reclaim = cluster.reclaim_capacity(origin, 0.3, 1001.0);
+        assert!(
+            reclaim.victims.is_empty(),
+            "cancelling a reservation must not evict: {reclaim:?}"
+        );
+        assert_eq!(cluster.locate(VmId(1)), Some(refuge));
+        assert_eq!(cluster.in_flight_count(), 0);
+        assert_eq!(cluster.transient_counters().migration_aborts, 1);
+        assert_eq!(cluster.transient_counters().reclamation_victims, 0);
+        assert_eq!(cluster.transient_counters().migrations_back, 0);
+        assert_eq!(cluster.running_allocation_fractions().len(), 1);
+        assert!(cluster.check_invariants());
+        // The stale completion event is a no-op.
+        assert_eq!(
+            cluster.complete_migration(back.id, back.event_secs),
+            CapacityChangeOutcome::default()
+        );
+    }
+
+    #[test]
+    fn zero_bandwidth_falls_back_to_eviction() {
+        let model = MigrationCostModel {
+            link_bandwidth_mbps: 0.0,
+            ..slow_model()
+        };
+        let mut cluster = small_cluster(ReclamationMode::MigrationOnly).with_migration_cost(model);
+        assert!(cluster.place_vm(vm(1, 8.0, 0.5)).is_placed());
+        let source = cluster.locate(VmId(1)).unwrap();
+        let outcome = cluster.reclaim_capacity(source, 0.4, 0.0);
+        // No link: migration impossible, the VM is evicted instead.
+        assert!(outcome.started.is_empty());
+        assert_eq!(outcome.victims, vec![VmId(1)]);
+        assert_eq!(cluster.transient_counters().reclamation_victims, 1);
+        assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn departure_mid_transfer_cancels_the_migration() {
+        let mut cluster =
+            small_cluster(ReclamationMode::MigrationOnly).with_migration_cost(slow_model());
+        assert!(cluster.place_vm(vm(1, 8.0, 0.5)).is_placed());
+        let source = cluster.locate(VmId(1)).unwrap();
+        let outcome = cluster.reclaim_capacity(source, 0.4, 0.0);
+        let pending = outcome.started[0];
+        // The VM departs while its pages are still being copied.
+        cluster.remove_vm(VmId(1)).unwrap();
+        assert_eq!(cluster.in_flight_count(), 0);
+        assert!(cluster.servers().all(|s| s.domain_count() == 0));
+        // The already-scheduled completion event resolves to a no-op.
+        assert_eq!(
+            cluster.complete_migration(pending.id, pending.event_secs),
+            CapacityChangeOutcome::default()
+        );
+        assert!(cluster.check_invariants());
     }
 
     #[test]

@@ -143,10 +143,13 @@ impl VmRecord {
 }
 
 /// One VM migration performed during the simulation (capacity-reclamation
-/// fallback, or migrate-back after a restitution).
+/// fallback, or migrate-back after a restitution). Recorded when the
+/// transfer *completes*; aborted transfers appear as evictions and in
+/// [`TransientCounters::migration_aborts`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MigrationEvent {
-    /// Simulation time of the migration, seconds.
+    /// Simulation time the migration completed, seconds. With a costed
+    /// migration model this is the end of the page transfer, not its start.
     pub time_secs: f64,
     /// The migrated VM.
     pub vm: VmId,
@@ -154,6 +157,14 @@ pub struct MigrationEvent {
     pub from: ServerId,
     /// Server the VM moved to.
     pub to: ServerId,
+    /// Page-transfer time charged by the migration cost model, seconds.
+    /// `0.0` under the historical cost-free model, whose instantaneous
+    /// migrations this field was retrofitted to expose (every migration
+    /// used to be implicitly free).
+    pub duration_secs: f64,
+    /// Bytes moved over the wire, MiB (hot footprint × dirty-page
+    /// overhead).
+    pub volume_mb: f64,
     /// True when this was a migrate-back to the VM's origin server after a
     /// capacity restitution.
     pub back: bool,
@@ -225,6 +236,50 @@ impl SimResult {
     /// Total number of migrations performed (including migrate-backs).
     pub fn migration_count(&self) -> usize {
         self.migrations.len()
+    }
+
+    /// Number of migrations aborted mid-transfer because the source's
+    /// reclamation deadline expired (each also evicted its VM).
+    pub fn migration_abort_count(&self) -> usize {
+        self.transient.migration_aborts
+    }
+
+    /// Deflatable VMs lost to capacity reclamations either way: evicted
+    /// outright or aborted mid-migration (aborts resolve to evictions, so
+    /// this is the count of `Evicted` outcomes). The quantity the
+    /// bandwidth-sweep experiment compares across reclamation modes.
+    pub fn eviction_or_abort_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.spec.deflatable)
+            .filter(|r| matches!(r.outcome, VmOutcome::Evicted { .. }))
+            .count()
+    }
+
+    /// Total page-transfer time spent by completed migrations, seconds.
+    /// Zero under the cost-free model — the non-zero value is the migration
+    /// cost the transient experiments previously ignored.
+    pub fn total_migration_secs(&self) -> f64 {
+        // fold, not sum: this toolchain's empty f64 sum yields -0.0, which
+        // prints as "-0.0" in experiment tables.
+        self.migrations
+            .iter()
+            .fold(0.0, |acc, m| acc + m.duration_secs)
+    }
+
+    /// Mean page-transfer time per completed migration, seconds (0 when
+    /// nothing migrated).
+    pub fn mean_migration_secs(&self) -> f64 {
+        if self.migrations.is_empty() {
+            0.0
+        } else {
+            self.total_migration_secs() / self.migrations.len() as f64
+        }
+    }
+
+    /// Total bytes moved by completed migrations, MiB.
+    pub fn total_migration_volume_mb(&self) -> f64 {
+        self.migrations.iter().fold(0.0, |acc, m| acc + m.volume_mb)
     }
 
     /// Figure 21's metric: mean relative throughput loss across deflatable

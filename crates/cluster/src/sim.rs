@@ -11,17 +11,25 @@
 //! The simulation runs on the generalized event engine of
 //! `deflate-transient`: a deterministic binary-heap [`EventQueue`] over typed
 //! [`SimEvent`]s. Besides VM arrivals and departures it understands
-//! provider-side **capacity events** — attach a
-//! [`CapacitySchedule`](deflate_transient::signal::CapacitySchedule) with
+//! provider-side **capacity events** — attach a [`CapacitySchedule`] with
 //! [`ClusterSimulation::with_capacity_schedule`] and every reclamation is
 //! absorbed by deflation, then deflation-aware migration, and only then by
 //! evicting VMs (see [`ClusterManager::reclaim_capacity`]).
+//!
+//! Migrations are priced by a [`MigrationCostModel`]
+//! ([`ClusterSimulation::with_migration_cost`]): instead of completing
+//! instantly, a costed transfer becomes *in flight* — the manager reports
+//! it as started, the simulator schedules a [`SimEvent::MigrationComplete`]
+//! at the transfer's end (or at the source's reclamation deadline, in which
+//! case the VM is aborted and evicted) and feeds it back through
+//! [`ClusterManager::complete_migration`].
 
 use crate::manager::{ClusterConfig, ClusterManager, PlacementResult, ReclamationMode};
 use crate::metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
 use crate::spec::WorkloadVm;
 use deflate_core::resources::ResourceKind;
 use deflate_core::vm::VmId;
+use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_transient::events::{EventQueue, SimEvent};
 use deflate_transient::signal::CapacitySchedule;
 use std::collections::HashMap;
@@ -33,11 +41,13 @@ pub struct ClusterSimulation {
     schedule: CapacitySchedule,
     utilization_tick_secs: Option<f64>,
     migrate_back: bool,
+    migration_cost: MigrationCostModel,
 }
 
 impl ClusterSimulation {
     /// Create a simulation with the given cluster configuration and
-    /// reclamation mode (static capacity, no utilisation sampling).
+    /// reclamation mode (static capacity, no utilisation sampling, free
+    /// instantaneous migrations).
     pub fn new(config: ClusterConfig, mode: ReclamationMode) -> Self {
         ClusterSimulation {
             config,
@@ -45,7 +55,16 @@ impl ClusterSimulation {
             schedule: CapacitySchedule::empty(),
             utilization_tick_secs: None,
             migrate_back: false,
+            migration_cost: MigrationCostModel::instant(),
         }
+    }
+
+    /// Charge migrations with the given cost model: transfers take
+    /// page-copy time, queue behind per-server bandwidth budgets and race
+    /// the reclamation deadline (losing the race evicts the VM).
+    pub fn with_migration_cost(mut self, model: MigrationCostModel) -> Self {
+        self.migration_cost = model;
+        self
     }
 
     /// Attach a provider-side capacity schedule: its reclamation and
@@ -73,7 +92,8 @@ impl ClusterSimulation {
     /// Replay the workload and return the per-VM records and aggregate
     /// counters.
     pub fn run(&self, workload: &[WorkloadVm]) -> SimResult {
-        let mut manager = ClusterManager::new(&self.config, self.mode.clone());
+        let mut manager = ClusterManager::new(&self.config, self.mode.clone())
+            .with_migration_cost(self.migration_cost);
 
         // Schedule every event up front. The queue's deterministic total
         // order (time, then kind, then id) makes the run independent of
@@ -174,10 +194,14 @@ impl ClusterSimulation {
                 }
                 SimEvent::Departure(i) => {
                     if running[i] {
-                        let server = manager.locate(workload[i].spec.id);
-                        let _ = manager.remove_vm(workload[i].spec.id);
+                        let vm = workload[i].spec.id;
+                        let server = manager.locate(vm);
+                        // A mid-transfer departure also frees (and
+                        // reinflates) the in-flight destination server.
+                        let dest = manager.in_flight_destination(vm);
+                        let _ = manager.remove_vm(vm);
                         running[i] = false;
-                        if let Some(server) = server {
+                        for server in [server, dest].into_iter().flatten() {
                             Self::record_allocations(
                                 &manager,
                                 server,
@@ -193,33 +217,50 @@ impl ClusterSimulation {
                     server,
                     available_fraction,
                 } => {
-                    let outcome = manager.reclaim_capacity(server, available_fraction);
+                    let outcome = manager.reclaim_capacity(server, available_fraction, time);
                     Self::apply_capacity_outcome(
                         &manager,
                         &outcome,
-                        false,
                         time,
                         &index_of,
                         &mut records,
                         &mut running,
                         &mut migrations,
+                        &mut queue,
                     );
                 }
                 SimEvent::CapacityRestore {
                     server,
                     available_fraction,
                 } => {
-                    let outcome =
-                        manager.restore_capacity(server, available_fraction, self.migrate_back);
+                    let outcome = manager.restore_capacity(
+                        server,
+                        available_fraction,
+                        self.migrate_back,
+                        time,
+                    );
                     Self::apply_capacity_outcome(
                         &manager,
                         &outcome,
-                        true,
                         time,
                         &index_of,
                         &mut records,
                         &mut running,
                         &mut migrations,
+                        &mut queue,
+                    );
+                }
+                SimEvent::MigrationComplete { migration } => {
+                    let outcome = manager.complete_migration(migration, time);
+                    Self::apply_capacity_outcome(
+                        &manager,
+                        &outcome,
+                        time,
+                        &index_of,
+                        &mut records,
+                        &mut running,
+                        &mut migrations,
+                        &mut queue,
                     );
                 }
                 SimEvent::UtilizationTick => {
@@ -258,18 +299,20 @@ impl ClusterSimulation {
     }
 
     /// Fold a capacity-change outcome into the per-VM bookkeeping: evicted
-    /// VMs stop running, migrations are logged, and allocation histories of
-    /// every touched server are brought up to date.
+    /// VMs stop running, completed migrations are logged with their
+    /// transfer cost, newly started transfers get a `MigrationComplete`
+    /// event scheduled, and allocation histories of every touched server
+    /// are brought up to date.
     #[allow(clippy::too_many_arguments)]
     fn apply_capacity_outcome(
         manager: &ClusterManager,
         outcome: &crate::manager::CapacityChangeOutcome,
-        back: bool,
         time: f64,
         index_of: &HashMap<VmId, usize>,
         records: &mut [VmRecord],
         running: &mut [bool],
         migrations: &mut Vec<MigrationEvent>,
+        queue: &mut EventQueue,
     ) {
         for &victim in &outcome.victims {
             if let Some(&vi) = index_of.get(&victim) {
@@ -283,8 +326,18 @@ impl ClusterSimulation {
                 vm: migration.vm,
                 from: migration.from,
                 to: migration.to,
-                back,
+                duration_secs: migration.duration_secs,
+                volume_mb: migration.volume_mb,
+                back: migration.back,
             });
+        }
+        for started in &outcome.started {
+            queue.push(
+                started.event_secs,
+                SimEvent::MigrationComplete {
+                    migration: started.id,
+                },
+            );
         }
         for &server in &outcome.touched {
             Self::record_allocations(manager, server, index_of, records, running, time);

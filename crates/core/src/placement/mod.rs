@@ -11,10 +11,10 @@
 //! The module provides:
 //!
 //! * [`ServerView`] — the lightweight per-server state placement needs.
-//! * [`PlacementPolicy`] — trait with [`CosineFitness`](fitness::CosineFitness),
-//!   [`FirstFit`](binpack::FirstFit), [`BestFit`](binpack::BestFit) and
-//!   [`WorstFit`](binpack::WorstFit) implementations.
-//! * [`PartitionedPlacement`](partition::PartitionedPlacement) — the cluster
+//! * [`PlacementPolicy`] — trait with [`CosineFitness`],
+//!   [`FirstFit`], [`BestFit`] and
+//!   [`WorstFit`] implementations.
+//! * [`PartitionedPlacement`] — the cluster
 //!   partitioning scheme of §5.2.1 that restricts each priority class to its
 //!   own pool of servers.
 
@@ -74,7 +74,7 @@ impl ServerView {
     /// `A_j = Total_j − Used_j + deflatable_j / overcommitted_j`.
     ///
     /// Dividing the deflatable headroom by the overcommitment factor makes
-    /// already-overcommitted servers look less attractive, "prefer[ring]
+    /// already-overcommitted servers look less attractive, "prefer\[ring\]
     /// servers with lower overcommitment" for better load balancing.
     pub fn availability(&self) -> ResourceVector {
         let oc = self.overcommitment.max(1.0);

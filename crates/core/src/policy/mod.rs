@@ -6,11 +6,11 @@
 //!
 //! The paper proposes three families of policies, all implemented here:
 //!
-//! * [`ProportionalDeflation`](proportional::ProportionalDeflation) — Eq 1
+//! * [`ProportionalDeflation`] — Eq 1
 //!   (plain) and Eq 2 (minimum-allocation aware).
-//! * [`PriorityDeflation`](priority::PriorityDeflation) — weighted
+//! * [`PriorityDeflation`] — weighted
 //!   proportional deflation, Eq 3 and Eq 4.
-//! * [`DeterministicDeflation`](deterministic::DeterministicDeflation) —
+//! * [`DeterministicDeflation`] —
 //!   binary, priority-ordered deflation to pre-specified levels.
 //!
 //! Policies are *scalar*: they operate on one [`ResourceKind`] at a time,

@@ -20,6 +20,9 @@
 //!   deflatable headroom).
 //! * [`controller`] — the per-server local deflation controller of §6 that
 //!   applies policies from `deflate-core` and emits deflation notifications.
+//! * [`migration`] — the live-migration cost model: page-transfer time
+//!   derived from a domain's hot footprint (RSS + page cache), dirty-page
+//!   overhead, and per-server migration-bandwidth budgets.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,11 +31,13 @@ pub mod cgroups;
 pub mod controller;
 pub mod domain;
 pub mod guest;
+pub mod migration;
 pub mod server;
 
 pub use controller::{AdmissionOutcome, DeflationNotification, LocalController};
 pub use domain::{DeflationMechanism, DeflationOutcome, Domain};
 pub use guest::{GuestOs, HotplugOutcome, MEMORY_BLOCK_MB};
+pub use migration::MigrationCostModel;
 pub use server::SimServer;
 
 /// Commonly used items, for glob import in examples and downstream crates.
@@ -41,5 +46,6 @@ pub mod prelude {
     pub use crate::controller::{AdmissionOutcome, DeflationNotification, LocalController};
     pub use crate::domain::{DeflationMechanism, DeflationOutcome, Domain};
     pub use crate::guest::{GuestOs, HotplugOutcome};
+    pub use crate::migration::MigrationCostModel;
     pub use crate::server::SimServer;
 }

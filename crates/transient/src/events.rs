@@ -23,6 +23,14 @@ use std::collections::BinaryHeap;
 pub enum SimEvent {
     /// A VM (index into the workload) departs.
     Departure(usize),
+    /// An in-flight live migration finishes (or hits its abort deadline).
+    /// Carries the migration id handed out by the cluster manager when the
+    /// transfer started; the manager decides on delivery whether the
+    /// transfer completed or must be aborted.
+    MigrationComplete {
+        /// Identifier of the in-flight migration.
+        migration: u64,
+    },
     /// The provider restores a server's capacity to the given fraction of
     /// its hardware capacity.
     CapacityRestore {
@@ -47,28 +55,32 @@ pub enum SimEvent {
 
 impl SimEvent {
     /// Processing rank for events sharing a timestamp. Departures run first
-    /// (they free capacity), then capacity restitutions (more room), then
-    /// reclamations (so simultaneous arrivals see the reduced capacity),
-    /// then arrivals, then metric ticks (which observe the settled state).
+    /// (they free capacity), then migration completions (they free the
+    /// source server's share of an in-flight VM), then capacity
+    /// restitutions (more room), then reclamations (so simultaneous
+    /// arrivals see the reduced capacity), then arrivals, then metric ticks
+    /// (which observe the settled state).
     fn rank(&self) -> u8 {
         match self {
             SimEvent::Departure(_) => 0,
-            SimEvent::CapacityRestore { .. } => 1,
-            SimEvent::CapacityReclaim { .. } => 2,
-            SimEvent::Arrival(_) => 3,
-            SimEvent::UtilizationTick => 4,
+            SimEvent::MigrationComplete { .. } => 1,
+            SimEvent::CapacityRestore { .. } => 2,
+            SimEvent::CapacityReclaim { .. } => 3,
+            SimEvent::Arrival(_) => 4,
+            SimEvent::UtilizationTick => 5,
         }
     }
 
     /// Entity id used as the final tie-break among same-kind events at the
     /// same timestamp: the workload index for VM events, the server id for
-    /// capacity events.
+    /// capacity events, the migration id for migration completions.
     fn tie_id(&self) -> u64 {
         match self {
             SimEvent::Arrival(i) | SimEvent::Departure(i) => *i as u64,
             SimEvent::CapacityReclaim { server, .. } | SimEvent::CapacityRestore { server, .. } => {
                 server.0 as u64
             }
+            SimEvent::MigrationComplete { migration } => *migration,
             SimEvent::UtilizationTick => 0,
         }
     }
@@ -136,10 +148,11 @@ impl PartialOrd for Scheduled {
 
 /// A deterministic min-queue of timed simulation events.
 ///
-/// Events at equal timestamps are delivered in a fixed kind order (see
-/// [`SimEvent::rank`]) with entity ids breaking remaining ties, so replaying
-/// the same schedule always produces the same sequence regardless of the
-/// order events were pushed in.
+/// Events at equal timestamps are delivered in a fixed kind order
+/// (departures, then migration completions, capacity restitutions,
+/// reclamations, arrivals, utilisation ticks) with entity ids breaking
+/// remaining ties, so replaying the same schedule always produces the same
+/// sequence regardless of the order events were pushed in.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
@@ -213,11 +226,13 @@ mod tests {
             },
         );
         q.push(5.0, SimEvent::Arrival(1));
+        q.push(5.0, SimEvent::MigrationComplete { migration: 7 });
         let order: Vec<(f64, SimEvent)> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(
             order,
             vec![
                 (5.0, SimEvent::Departure(9)),
+                (5.0, SimEvent::MigrationComplete { migration: 7 }),
                 (
                     5.0,
                     SimEvent::CapacityRestore {

@@ -1,0 +1,246 @@
+//! Integration tests for the migration cost model: page-transfer time in
+//! trace-driven runs, deadline aborts surfacing as evictions, bandwidth
+//! budgets queueing transfers, and the double-counting property of
+//! in-flight migrations (a migrating VM occupies exactly its source slot
+//! and its destination reservation, never more).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vmdeflate::cluster::prelude::*;
+use vmdeflate::core::placement::PartitionScheme;
+use vmdeflate::core::policy::ProportionalDeflation;
+use vmdeflate::core::resources::ResourceVector;
+use vmdeflate::core::vm::{Priority, ServerId, VmClass, VmId, VmSpec};
+use vmdeflate::hypervisor::domain::DeflationMechanism;
+use vmdeflate::traces::azure::{AzureTraceConfig, AzureTraceGenerator};
+use vmdeflate::transient::signal::{CapacityProfile, CapacitySchedule, TransientConfig};
+
+fn cluster_config(num_servers: usize, capacity: ResourceVector) -> ClusterConfig {
+    ClusterConfig {
+        num_servers,
+        server_capacity: capacity,
+        placement: PlacementKind::CosineFitness,
+        partitions: PartitionScheme::None,
+        mechanism: DeflationMechanism::Transparent,
+    }
+}
+
+/// 100 MiB/s links, no overhead/floor, one transfer slot per server.
+fn slow_model() -> MigrationCostModel {
+    MigrationCostModel {
+        link_bandwidth_mbps: 100.0,
+        dirty_page_overhead: 1.0,
+        setup_floor_secs: 0.0,
+        per_server_bandwidth_mbps: 100.0,
+        reclaim_deadline_secs: f64::INFINITY,
+    }
+}
+
+/// A trace-driven run with costed migrations stays deterministic, charges
+/// every completed migration a positive duration, and keeps the
+/// migration-event list consistent with the counters.
+#[test]
+fn costed_transient_run_is_deterministic_and_charges_transfers() {
+    let traces = AzureTraceGenerator::generate(&AzureTraceConfig {
+        num_vms: 160,
+        duration_hours: 10.0,
+        seed: 23,
+        ..Default::default()
+    });
+    let workload = workload_from_azure(&traces, MinAllocationRule::None);
+    let capacity = paper_server_capacity();
+    let servers = min_cluster_size(&workload, capacity);
+    let schedule = CapacitySchedule::generate(&TransientConfig {
+        num_servers: servers,
+        transient_fraction: 1.0,
+        duration_secs: 10.0 * 3600.0,
+        profile: CapacityProfile::SquareWave {
+            period_secs: 2.0 * 3600.0,
+            keep_fraction: 0.45,
+            duty: 0.35,
+        },
+        seed: 23,
+    });
+    let run = || {
+        ClusterSimulation::new(
+            cluster_config(servers, capacity),
+            ReclamationMode::MigrationOnly,
+        )
+        .with_capacity_schedule(schedule.clone())
+        .with_migrate_back(true)
+        .with_migration_cost(MigrationCostModel::lan_default())
+        .run(&workload)
+    };
+    let result = run();
+    assert_eq!(result, run(), "costed runs must stay deterministic");
+    assert!(
+        !result.migrations.is_empty(),
+        "square-wave reclamation must force migrations: {:?}",
+        result.transient
+    );
+    for m in &result.migrations {
+        assert!(m.duration_secs > 0.0, "free migration slipped through");
+        assert!(m.volume_mb > 0.0);
+        assert_ne!(m.from, m.to);
+        // Completion times never precede the transfer itself.
+        assert!(m.time_secs >= m.duration_secs);
+    }
+    assert_eq!(
+        result.migrations.len(),
+        result.transient.migrations + result.transient.migrations_back
+    );
+    assert!(result.total_migration_secs() > 0.0);
+    assert!(result.mean_migration_secs() > 0.0);
+}
+
+/// A deadline shorter than any transfer turns every attempted migration
+/// into an abort-with-evict, visible both in the counters and as `Evicted`
+/// outcomes at the deadline instant.
+#[test]
+fn deadline_aborts_surface_as_evictions_in_sim_records() {
+    let traces = AzureTraceGenerator::generate(&AzureTraceConfig {
+        num_vms: 120,
+        duration_hours: 8.0,
+        seed: 29,
+        ..Default::default()
+    });
+    let workload = workload_from_azure(&traces, MinAllocationRule::None);
+    let capacity = paper_server_capacity();
+    let servers = min_cluster_size(&workload, capacity);
+    let schedule = CapacitySchedule::generate(&TransientConfig {
+        num_servers: servers,
+        transient_fraction: 1.0,
+        duration_secs: 8.0 * 3600.0,
+        profile: CapacityProfile::SquareWave {
+            period_secs: 3.0 * 3600.0,
+            keep_fraction: 0.4,
+            duty: 0.3,
+        },
+        seed: 29,
+    });
+    // 10 MiB/s and a 5 s deadline: no VM-sized footprint can make it.
+    let hopeless = MigrationCostModel {
+        link_bandwidth_mbps: 10.0,
+        dirty_page_overhead: 1.0,
+        setup_floor_secs: 0.0,
+        per_server_bandwidth_mbps: 10.0,
+        reclaim_deadline_secs: 5.0,
+    };
+    let result = ClusterSimulation::new(
+        cluster_config(servers, capacity),
+        ReclamationMode::MigrationOnly,
+    )
+    .with_capacity_schedule(schedule)
+    .with_migration_cost(hopeless)
+    .run(&workload);
+    assert!(
+        result.transient.migration_aborts > 0,
+        "hopeless link must abort transfers: {:?}",
+        result.transient
+    );
+    // No transfer can complete, so every started migration aborted.
+    assert_eq!(result.transient.migrations, 0);
+    assert!(result.migrations.is_empty());
+    let evicted = result
+        .records
+        .iter()
+        .filter(|r| matches!(r.outcome, VmOutcome::Evicted { .. }))
+        .count();
+    assert!(
+        evicted >= result.transient.migration_aborts,
+        "every abort is an eviction: {evicted} < {}",
+        result.transient.migration_aborts
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The reservation property of in-flight migrations: while transfers
+    /// are on the wire, a migrating VM has exactly one source copy and one
+    /// destination reservation (never more), every other surviving VM has
+    /// exactly one copy, each VM is reported once, and no server exceeds
+    /// its capacity once pledged-outbound allocations are discounted. After
+    /// all completions the strict physical invariant holds again.
+    #[test]
+    fn in_flight_migrations_never_double_count_capacity(
+        vms in prop::collection::vec(
+            (1.0f64..4.0, 1024.0f64..6144.0, 0.1f64..0.9),
+            2..12,
+        ),
+        keep in 0.1f64..0.6,
+    ) {
+        let capacity = ResourceVector::cpu_mem(16_000.0, 32_768.0);
+        let mut cluster = ClusterManager::new(
+            &cluster_config(3, capacity),
+            ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default())),
+        )
+        .with_migration_cost(slow_model());
+        let mut placed: Vec<VmId> = Vec::new();
+        for (i, &(cores, mem, priority)) in vms.iter().enumerate() {
+            // Half the VMs are on-demand so deflation cannot absorb the
+            // whole reclamation and migrations actually start.
+            let id = VmId(i as u64);
+            let size = ResourceVector::cpu_mem(cores * 1000.0, mem);
+            let spec = if i % 2 == 0 {
+                VmSpec::on_demand(id, VmClass::Unknown, size)
+            } else {
+                VmSpec::deflatable(id, VmClass::Interactive, size)
+                    .with_priority(Priority::new(priority))
+            };
+            if cluster.place_vm(spec).is_placed() {
+                placed.push(id);
+            }
+        }
+        prop_assert!(cluster.check_invariants());
+
+        let outcome = cluster.reclaim_capacity(ServerId(0), keep, 0.0);
+        let victims = &outcome.victims;
+        let survivors: Vec<VmId> =
+            placed.iter().copied().filter(|vm| !victims.contains(vm)).collect();
+
+        // During flight: copy counts are exact.
+        let copies = |cluster: &ClusterManager, vm: VmId| {
+            cluster.servers().filter(|s| s.domain(vm).is_some()).count()
+        };
+        prop_assert_eq!(cluster.in_flight_count(), outcome.started.len());
+        for pending in &outcome.started {
+            prop_assert!(cluster.is_in_flight(pending.vm));
+            prop_assert_eq!(
+                copies(&cluster, pending.vm), 2,
+                "in-flight vm {} must have exactly source + reservation", pending.vm
+            );
+        }
+        for &vm in &survivors {
+            if !cluster.is_in_flight(vm) {
+                prop_assert_eq!(copies(&cluster, vm), 1, "resident vm {} duplicated", vm);
+            }
+        }
+        for &vm in victims {
+            prop_assert_eq!(copies(&cluster, vm), 0, "victim vm {} still resident", vm);
+        }
+        // Each surviving VM reported exactly once despite dual residency.
+        let fractions = cluster.running_allocation_fractions();
+        prop_assert_eq!(fractions.len(), survivors.len());
+        // Capacity minus pledged-outbound stays within bounds everywhere.
+        prop_assert!(cluster.check_invariants());
+
+        // Drain the transfers in event order; afterwards the strict
+        // physical invariant holds on every server.
+        let mut pending = outcome.started.clone();
+        pending.sort_by(|a, b| a.event_secs.total_cmp(&b.event_secs));
+        for p in pending {
+            cluster.complete_migration(p.id, p.event_secs);
+        }
+        prop_assert_eq!(cluster.in_flight_count(), 0);
+        for server in cluster.servers() {
+            prop_assert!(
+                server.check_capacity_invariant().is_ok(),
+                "server {} over capacity after completions", server.id
+            );
+        }
+        for &vm in &survivors {
+            prop_assert_eq!(copies(&cluster, vm), 1);
+        }
+    }
+}

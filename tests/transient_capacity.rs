@@ -152,7 +152,7 @@ proptest! {
         }
 
         // Reclaim part of server 0, then give it back.
-        let reclaim = cluster.reclaim_capacity(ServerId(0), keep);
+        let reclaim = cluster.reclaim_capacity(ServerId(0), keep, 0.0);
         prop_assert!(cluster.check_invariants(), "invariant broken after reclaim");
         prop_assert!((cluster.capacity_fraction(ServerId(0)) - keep).abs() < 1e-9);
         prop_assert!((cluster.capacity_fraction(ServerId(1)) - 1.0).abs() < 1e-9);
@@ -162,7 +162,7 @@ proptest! {
                 "vm {vm} above its spec mid-cycle: {fraction}"
             );
         }
-        let restore = cluster.restore_capacity(ServerId(0), 1.0, true);
+        let restore = cluster.restore_capacity(ServerId(0), 1.0, true, 0.0);
         prop_assert!(cluster.check_invariants(), "invariant broken after restore");
         prop_assert!((cluster.capacity_fraction(ServerId(0)) - 1.0).abs() < 1e-9);
         prop_assert!(restore.victims.is_empty(), "restore must never evict");
