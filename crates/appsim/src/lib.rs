@@ -20,6 +20,28 @@
 //!   SpecJBB memory-deflation experiment (Figure 14).
 //! * [`loadbalancer`] — vanilla vs deflation-aware weighted round robin
 //!   (Figure 19).
+//!
+//! # Example
+//!
+//! The processor-sharing queue is the primitive everything else builds
+//! on: deflating a VM shrinks the queue's capacity, which stretches the
+//! response times of whatever is in service. Two concurrent one-second
+//! requests on one core each see exactly two seconds of wall clock:
+//!
+//! ```
+//! use deflate_appsim::queueing::PsQueue;
+//!
+//! let mut queue = PsQueue::new(1.0); // one core's worth of capacity
+//! queue.arrive(0.0, 1, 1.0); // two requests, one capacity-second each
+//! queue.arrive(0.0, 2, 1.0);
+//! let (completed, dropped) = queue.drain(10.0);
+//! assert!(dropped.is_empty());
+//! assert_eq!(completed.len(), 2);
+//! // Processor sharing: each request got half the core, so both take 2 s.
+//! assert!(completed
+//!     .iter()
+//!     .all(|c| (c.response_time() - 2.0).abs() < 1e-9));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

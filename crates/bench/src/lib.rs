@@ -15,7 +15,7 @@
 //! | [`feasibility`] | 5, 6, 7, 8, 9, 10, 11, 12 |
 //! | [`web`] | 16, 17, 18, 19 |
 //! | [`cluster_exp`] | 20, 21, 22 |
-//! | [`transient_exp`] | transient-capacity reclamation comparison + migration-bandwidth sweep |
+//! | [`transient_exp`] | transient-capacity reclamation comparison + migration-bandwidth sweep + transfer-scheduler sweep |
 //! | [`ablation`] | placement / partition / mechanism ablations |
 //!
 //! Beyond the paper's figures, the transient experiments charge every live
@@ -23,8 +23,12 @@
 //! (see [`transient_exp::default_migration_cost`]); the
 //! `fig_bandwidth_sweep` binary shows how shrinking the per-server
 //! migration-bandwidth budget turns the "free" migration-only baseline
-//! into deadline aborts and evictions. `docs/ARCHITECTURE.md` maps every
-//! figure to the binary that reproduces it.
+//! into deadline aborts and evictions, and the `fig_scheduler` binary
+//! shows the deadline-aware transfer scheduler (EDF admission control +
+//! deflate-then-migrate, see [`transient_exp::scheduler_sweep_table`])
+//! winning those aborts back. `docs/EXPERIMENTS.md` is the reproduction
+//! guide; `docs/ARCHITECTURE.md` maps every figure to the binary that
+//! reproduces it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -63,6 +67,7 @@ pub fn print_all(scale: Scale) {
     cluster_exp::fig22_table(scale).print();
     transient_exp::fig_transient_table(scale).print();
     transient_exp::bandwidth_sweep_table(scale).print();
+    transient_exp::scheduler_sweep_table(scale).print();
     ablation::placement_ablation(scale).print();
     ablation::partition_ablation(scale).print();
     ablation::mechanism_ablation().print();

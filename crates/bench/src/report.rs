@@ -39,6 +39,12 @@ impl Table {
         self.rows.len()
     }
 
+    /// The data rows, as rendered strings (used by regression tests that
+    /// pin experiment output to known-good values).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// True when the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

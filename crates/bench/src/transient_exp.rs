@@ -29,6 +29,7 @@ use deflate_cluster::spec::{
 };
 use deflate_core::placement::PartitionScheme;
 use deflate_core::policy::ProportionalDeflation;
+use deflate_core::policy::TransferPolicy;
 use deflate_core::pricing::{PricingPolicy, RateCard};
 use deflate_hypervisor::domain::DeflationMechanism;
 use deflate_hypervisor::migration::MigrationCostModel;
@@ -134,13 +135,27 @@ pub fn run_transient_on(
 
 /// [`run_transient_on`] with an explicit migration cost model (used by the
 /// bandwidth sweep; pass [`MigrationCostModel::instant`] to reproduce the
-/// historical free-migration comparison).
+/// historical free-migration comparison). Transfers are scheduled FIFO —
+/// the pre-scheduler greedy booking, bit-for-bit.
 pub fn run_transient_costed(
     workload: &[deflate_cluster::spec::WorkloadVm],
     scale: Scale,
     mode: TransientMode,
     profile: CapacityProfile,
     cost: MigrationCostModel,
+) -> SimResult {
+    run_transient_scheduled(workload, scale, mode, profile, cost, TransferPolicy::fifo())
+}
+
+/// [`run_transient_costed`] with an explicit transfer-scheduling policy —
+/// the entry point of the scheduler experiment.
+pub fn run_transient_scheduled(
+    workload: &[deflate_cluster::spec::WorkloadVm],
+    scale: Scale,
+    mode: TransientMode,
+    profile: CapacityProfile,
+    cost: MigrationCostModel,
+    policy: TransferPolicy,
 ) -> SimResult {
     let capacity = paper_server_capacity();
     let servers =
@@ -163,6 +178,7 @@ pub fn run_transient_costed(
         .with_capacity_schedule(schedule)
         .with_migrate_back(true)
         .with_migration_cost(cost)
+        .with_transfer_policy(policy)
         .run(workload)
 }
 
@@ -262,6 +278,148 @@ pub fn bandwidth_sweep_table(scale: Scale) -> Table {
     table
 }
 
+/// The scheduling variants the scheduler sweep compares. The FIFO variant
+/// charges the PR 2 cost model (constant dirty-page overhead) and books
+/// greedily — bit-identical to the pre-scheduler behaviour; the
+/// deadline-aware variants additionally feed the scheduler dirty-rate-aware
+/// estimates ([`dirty_aware_migration_cost`]) so admission control compares
+/// realistic copy times against the deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerVariant {
+    /// Greedy request-order booking, constant overhead (the baseline).
+    Fifo,
+    /// Greedy request-order booking under the dirty-rate-aware cost model
+    /// — the control that isolates the scheduling effect: any gap between
+    /// this row and the EDF rows is due to ordering and admission
+    /// control, not to the different migration physics.
+    FifoDirty,
+    /// Smallest transfer volume first, constant overhead.
+    SmallestFirst,
+    /// EDF + admission control, dirty-rate-aware estimates.
+    Edf,
+    /// EDF + admission control + deflate-then-migrate, dirty-rate-aware
+    /// estimates. Only meaningful in deflation mode.
+    EdfDeflate,
+}
+
+impl SchedulerVariant {
+    /// All variants in report order.
+    pub const ALL: [SchedulerVariant; 5] = [
+        SchedulerVariant::Fifo,
+        SchedulerVariant::FifoDirty,
+        SchedulerVariant::SmallestFirst,
+        SchedulerVariant::Edf,
+        SchedulerVariant::EdfDeflate,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerVariant::FifoDirty => "fifo+dirty",
+            _ => self.policy().name(),
+        }
+    }
+
+    /// The transfer policy this variant schedules under.
+    pub fn policy(&self) -> TransferPolicy {
+        match self {
+            SchedulerVariant::Fifo | SchedulerVariant::FifoDirty => TransferPolicy::fifo(),
+            SchedulerVariant::SmallestFirst => TransferPolicy::smallest_first(),
+            SchedulerVariant::Edf => TransferPolicy::edf(),
+            SchedulerVariant::EdfDeflate => TransferPolicy::edf().with_deflate_then_migrate(true),
+        }
+    }
+
+    /// The cost model this variant charges at a given per-server budget.
+    pub fn cost(&self, budget_mbps: f64) -> MigrationCostModel {
+        let base = default_migration_cost().with_budget_mbps(budget_mbps);
+        match self {
+            SchedulerVariant::Fifo | SchedulerVariant::SmallestFirst => base,
+            SchedulerVariant::FifoDirty | SchedulerVariant::Edf | SchedulerVariant::EdfDeflate => {
+                dirty_aware_migration_cost(budget_mbps)
+            }
+        }
+    }
+
+    /// Deflate-then-migrate is a rung of the deflation ladder; the
+    /// migration-only baseline never deflates, so the variant does not
+    /// apply there.
+    pub fn applies_to(&self, mode: TransientMode) -> bool {
+        !matches!(self, SchedulerVariant::EdfDeflate) || mode == TransientMode::Deflation
+    }
+}
+
+/// [`default_migration_cost`] with dirty-rate-aware pre-copy: a fully busy
+/// guest dirties 800 MiB/s (64 % of a 10 GbE migration stream), and
+/// non-converging transfers pay 2 s of stop-and-copy downtime. Idle VMs
+/// get cheaper estimates than the constant 1.3× overhead, write-heavy VMs
+/// costlier ones — which is what lets EDF admission control tell doomed
+/// copies from viable ones.
+pub fn dirty_aware_migration_cost(budget_mbps: f64) -> MigrationCostModel {
+    default_migration_cost()
+        .with_budget_mbps(budget_mbps)
+        .with_dirty_rate(800.0, 2.0)
+}
+
+/// Per-server bandwidth budgets the scheduler sweep explores, MiB/s. The
+/// first entry is the PR 2 one-link default the acceptance comparison is
+/// anchored to.
+pub const SCHEDULER_SWEEP_MBPS: [f64; 3] = [1250.0, 625.0, 312.5];
+
+/// The transfer-scheduler experiment: policy × bandwidth budget under
+/// spot-market reclamation. FIFO booking wastes tight budgets on doomed
+/// copies (aborts); smallest-first squeezes more copies under the
+/// deadline; EDF rejects provably-late transfers up front (rejections
+/// instead of aborts, no wasted link time), and deflate-then-migrate
+/// shrinks the copies themselves so fewer transfers are doomed at all.
+pub fn scheduler_sweep_table(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Transfer scheduling under spot-market reclamation: policy x bandwidth budget",
+        &[
+            "budget MiB/s",
+            "mode",
+            "policy",
+            "failure probability",
+            "evictions+aborts",
+            "migrations",
+            "aborts",
+            "rejections",
+            "mean queue-wait s",
+        ],
+    );
+    let workload = transient_workload(scale);
+    let profile = CapacityProfile::spot_market_default();
+    for budget in SCHEDULER_SWEEP_MBPS {
+        for mode in [TransientMode::Deflation, TransientMode::MigrationOnly] {
+            for variant in SchedulerVariant::ALL {
+                if !variant.applies_to(mode) {
+                    continue;
+                }
+                let result = run_transient_scheduled(
+                    &workload,
+                    scale,
+                    mode,
+                    profile,
+                    variant.cost(budget),
+                    variant.policy(),
+                );
+                table.row(&[
+                    format!("{budget:.0}"),
+                    mode.name().to_string(),
+                    variant.name().to_string(),
+                    pct(result.failure_probability()),
+                    result.eviction_or_abort_count().to_string(),
+                    result.migration_count().to_string(),
+                    result.migration_abort_count().to_string(),
+                    result.migration_rejection_count().to_string(),
+                    format!("{:.2}", result.mean_queue_wait_secs()),
+                ]);
+            }
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +511,112 @@ mod tests {
         assert_eq!(table.len(), profiles().len() * TransientMode::ALL.len());
         let sweep = bandwidth_sweep_table(Scale::Quick);
         assert_eq!(sweep.len(), BANDWIDTH_SWEEP_MBPS.len() * 2);
+        // Per budget: all five variants in deflation mode, four in
+        // migration-only (deflate-then-migrate does not apply there).
+        let sched = scheduler_sweep_table(Scale::Quick);
+        assert_eq!(sched.len(), SCHEDULER_SWEEP_MBPS.len() * 9);
+    }
+
+    /// The acceptance check of the transfer scheduler: under the default
+    /// spot-market signal at the PR 2 one-link budget, EDF with
+    /// deflate-then-migrate aborts strictly fewer migrations than the
+    /// greedy FIFO booking — admission control refuses doomed copies up
+    /// front and the pre-migration squeeze shrinks the rest under the
+    /// deadline.
+    #[test]
+    fn edf_with_deflate_then_migrate_cuts_aborts_versus_fifo() {
+        let workload = transient_workload(Scale::Quick);
+        let profile = CapacityProfile::spot_market_default();
+        let budget = 1250.0;
+        let fifo = run_transient_costed(
+            &workload,
+            Scale::Quick,
+            TransientMode::Deflation,
+            profile,
+            SchedulerVariant::Fifo.cost(budget),
+        );
+        let edf = run_transient_scheduled(
+            &workload,
+            Scale::Quick,
+            TransientMode::Deflation,
+            profile,
+            SchedulerVariant::EdfDeflate.cost(budget),
+            SchedulerVariant::EdfDeflate.policy(),
+        );
+        assert!(
+            edf.migration_abort_count() < fifo.migration_abort_count(),
+            "edf+deflate aborts {} must be strictly below fifo's {}",
+            edf.migration_abort_count(),
+            fifo.migration_abort_count()
+        );
+        assert!(
+            fifo.migration_abort_count() > 0,
+            "the comparison is vacuous without fifo aborts"
+        );
+        // Control for the cost-model difference: FIFO under the *same*
+        // dirty-rate-aware physics still aborts transfers, so the win is
+        // attributable to admission control and the pre-migration
+        // squeeze, not to cheaper migrations.
+        let fifo_dirty = run_transient_scheduled(
+            &workload,
+            Scale::Quick,
+            TransientMode::Deflation,
+            profile,
+            SchedulerVariant::FifoDirty.cost(budget),
+            SchedulerVariant::FifoDirty.policy(),
+        );
+        assert!(
+            edf.migration_abort_count() < fifo_dirty.migration_abort_count(),
+            "edf+deflate aborts {} must also beat the fifo+dirty control's {}",
+            edf.migration_abort_count(),
+            fifo_dirty.migration_abort_count()
+        );
+        // EDF never books a transfer that would miss its own deadline, so
+        // deadline aborts are impossible; the counter can only be fed by
+        // mid-flight cancellations. It also loses no more VMs overall.
+        assert!(edf.eviction_or_abort_count() <= fifo.eviction_or_abort_count());
+        assert_eq!(fifo.migration_rejection_count(), 0);
+    }
+
+    /// Regression pin for the satellite requirement that the FIFO policy
+    /// reproduces the pre-scheduler `fig_bandwidth_sweep` numbers exactly:
+    /// these rows were captured from the PR 2 implementation (greedy
+    /// per-migration booking) at quick scale, before the scheduler
+    /// existed. Any drift here means the refactor changed FIFO behaviour.
+    #[test]
+    fn fifo_reproduces_the_pre_scheduler_bandwidth_sweep_exactly() {
+        let golden: [[&str; 7]; 10] = [
+            [
+                "unlimited (free)",
+                "deflation",
+                "0.5%",
+                "0",
+                "66",
+                "0.00",
+                "0",
+            ],
+            [
+                "unlimited (free)",
+                "migration-only",
+                "1.5%",
+                "1",
+                "168",
+                "0.00",
+                "0",
+            ],
+            ["2500", "deflation", "0.7%", "1", "47", "4.51", "7"],
+            ["2500", "migration-only", "2.0%", "2", "181", "5.48", "7"],
+            ["1250", "deflation", "0.2%", "0", "54", "5.07", "4"],
+            ["1250", "migration-only", "2.0%", "2", "174", "5.39", "8"],
+            ["625", "deflation", "3.0%", "10", "43", "5.21", "24"],
+            ["625", "migration-only", "3.0%", "7", "150", "5.65", "15"],
+            ["312", "deflation", "3.5%", "12", "34", "6.39", "28"],
+            ["312", "migration-only", "9.4%", "34", "73", "7.32", "48"],
+        ];
+        let sweep = bandwidth_sweep_table(Scale::Quick);
+        assert_eq!(sweep.len(), golden.len());
+        for (row, expected) in sweep.rows().iter().zip(golden) {
+            assert_eq!(row, &expected, "bandwidth-sweep row drifted from PR 2");
+        }
     }
 }

@@ -8,7 +8,10 @@
 //! * [`manager`] — the centralized cluster manager: deflation-aware
 //!   placement, the three-step admission protocol, the preemption and
 //!   migration-only baselines, and the transient-capacity reclamation
-//!   handler (deflate → migrate → evict).
+//!   handler (deflate → deflate-then-migrate → migrate → evict).
+//! * [`scheduler`] — the global transfer scheduler: grants
+//!   migration-bandwidth slots to queued transfers in policy order (FIFO /
+//!   smallest-first / deadline-aware EDF with admission control).
 //! * [`sim`] — the trace-driven simulation loop, built on the typed event
 //!   engine of `deflate-transient` (arrivals, departures, capacity
 //!   reclaim/restore, utilisation ticks).
@@ -20,19 +23,26 @@
 //! # The reclaim decision ladder
 //!
 //! When the provider reclaims part of a server's capacity the manager
-//! climbs a three-rung ladder, stopping at the first rung that restores
-//! the capacity invariant:
+//! climbs a ladder, stopping at the first rung that restores the
+//! capacity invariant:
 //!
 //! 1. **deflate** residents in place via the configured policy;
-//! 2. **migrate** residents away — *costed*: each transfer takes
+//! 2. **deflate-then-migrate** (optional, via
+//!    [`TransferPolicy`](deflate_core::policy::TransferPolicy)): each
+//!    migration candidate surrenders its page cache before the copy is
+//!    estimated, shrinking the transfer under the deadline;
+//! 3. **migrate** residents away — *costed*: each transfer takes
 //!    page-copy time under the crate's
 //!    [`MigrationCostModel`](deflate_hypervisor::migration::MigrationCostModel),
-//!    queues behind per-server bandwidth budgets, and is aborted (the VM
-//!    evicted) if the reclamation deadline expires mid-transfer;
-//! 3. **evict** whatever remains, counted as reclamation failures.
+//!    queues behind per-server bandwidth budgets in the order decided by
+//!    the [`TransferScheduler`] (FIFO /
+//!    smallest-first / deadline-aware EDF with admission control), and is
+//!    aborted (the VM evicted) if the reclamation deadline expires
+//!    mid-transfer;
+//! 4. **evict** whatever remains, counted as reclamation failures.
 //!
 //! The baselines cut the ladder short: preemption jumps straight to rung
-//! 3, migration-only skips rung 1.
+//! 4, migration-only skips rungs 1–2.
 //!
 //! # Example
 //!
@@ -86,6 +96,7 @@
 
 pub mod manager;
 pub mod metrics;
+pub mod scheduler;
 pub mod sim;
 pub mod spec;
 
@@ -94,6 +105,7 @@ pub use manager::{
     PendingMigration, PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
 };
 pub use metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
+pub use scheduler::{SchedulerStats, TransferScheduler};
 pub use sim::ClusterSimulation;
 pub use spec::{MinAllocationRule, WorkloadVm};
 
@@ -104,10 +116,12 @@ pub mod prelude {
         PendingMigration, PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
     };
     pub use crate::metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
+    pub use crate::scheduler::{SchedulerStats, TransferScheduler};
     pub use crate::sim::ClusterSimulation;
     pub use crate::spec::{
         min_cluster_size, overcommitment_of, paper_server_capacity, servers_for_overcommitment,
         servers_for_transient_overcommitment, workload_from_azure, MinAllocationRule, WorkloadVm,
     };
+    pub use deflate_core::policy::{TransferOrdering, TransferPolicy};
     pub use deflate_hypervisor::migration::MigrationCostModel;
 }

@@ -32,13 +32,30 @@
 //! [`MigrationCostModel::instant`], which reproduces the historical
 //! free-migration behaviour; simulations opt into costed migration with
 //! [`ClusterManager::with_migration_cost`].
+//!
+//! # Transfer scheduling
+//!
+//! *Which* queued transfer gets the next bandwidth slot is decided by the
+//! global [`TransferScheduler`] (see [`crate::scheduler`]), configured via
+//! [`ClusterManager::with_transfer_policy`]. The default FIFO policy books
+//! slots in request order, bit-identical to the greedy booking that
+//! predated the scheduler; `SmallestFirst` and deadline-aware `Edf`
+//! reorder each capacity event's batch, and EDF additionally *rejects*
+//! transfers that provably cannot finish before their source's reclamation
+//! deadline (counted in [`TransientCounters::migration_rejections`] — the
+//! VM falls through to the eviction rung instead of wasting link time on a
+//! doomed copy). With `deflate_then_migrate` set, the reclaim ladder
+//! deliberately deflates migration candidates first — the guest surrenders
+//! its page cache, shrinking the hot footprint and the copy time under the
+//! deadline.
 
+use crate::scheduler::{SchedulerStats, TransferDecision, TransferRequest, TransferScheduler};
 use deflate_core::error::{DeflateError, Result};
 use deflate_core::placement::{
     BestFit, CosineFitness, FirstFit, PartitionScheme, PartitionedPlacement, PlacementPolicy,
     ServerView, WorstFit,
 };
-use deflate_core::policy::DeflationPolicy;
+use deflate_core::policy::{DeflationPolicy, TransferPolicy};
 use deflate_core::resources::{ResourceKind, ResourceVector};
 use deflate_core::vm::{ServerId, VmId, VmSpec};
 use deflate_hypervisor::controller::{AdmissionOutcome, LocalController};
@@ -225,6 +242,11 @@ pub struct TransientCounters {
     /// before the source's reclamation deadline (or the transfer was
     /// cancelled by a further reclamation) and the VM was evicted.
     pub migration_aborts: usize,
+    /// Migrations refused up front by the transfer scheduler's EDF
+    /// admission control: the copy provably could not beat its deadline,
+    /// so no bandwidth was spent and the VM fell straight through to the
+    /// eviction rung instead of aborting mid-transfer.
+    pub migration_rejections: usize,
     /// Resident VMs destroyed because neither deflation nor migration could
     /// absorb a reclamation — the reclamation-failure event of Figure 20.
     pub reclamation_victims: usize,
@@ -325,6 +347,28 @@ impl InFlight {
     }
 }
 
+/// A transfer the reclamation/restitution handler has *selected* (the
+/// destination reservation exists, the VM is pledged to leave its source)
+/// but that has not been granted a bandwidth slot yet. Staged transfers
+/// accumulate over one capacity event and are handed to the
+/// [`TransferScheduler`] as a single decision batch, so the scheduling
+/// policy can reorder them — or, under EDF admission control, refuse them
+/// — before any slot is booked.
+#[derive(Debug, Clone, Copy)]
+struct StagedTransfer {
+    vm: VmId,
+    source: usize,
+    dest: usize,
+    duration_secs: f64,
+    volume_mb: f64,
+    /// Absolute abort deadline; infinite for migrate-backs.
+    deadline_secs: f64,
+    back: bool,
+    /// Whether staging inserted the migration-origin entry, so a rejection
+    /// can undo exactly its own bookkeeping.
+    origin_inserted: bool,
+}
+
 /// The centralized cluster manager.
 pub struct ClusterManager {
     controllers: Vec<LocalController>,
@@ -343,9 +387,12 @@ pub struct ClusterManager {
     /// Reverse index: which migration a VM is currently part of.
     in_flight_by_vm: HashMap<VmId, u64>,
     next_migration_id: u64,
-    /// Per-server migration-bandwidth ledger: end times of transfers that
-    /// have reserved one link worth of this server's budget.
-    bandwidth_reservations: Vec<Vec<f64>>,
+    /// Global bandwidth-slot scheduler (owns the per-server ledgers and the
+    /// ordering policy).
+    scheduler: TransferScheduler,
+    /// Transfers selected but not yet booked, within the current capacity
+    /// event only (always empty between manager calls).
+    staged: Vec<StagedTransfer>,
     counters: AdmissionCounters,
     transient: TransientCounters,
 }
@@ -383,7 +430,8 @@ impl ClusterManager {
             in_flight: HashMap::new(),
             in_flight_by_vm: HashMap::new(),
             next_migration_id: 0,
-            bandwidth_reservations: vec![Vec::new(); config.num_servers],
+            scheduler: TransferScheduler::new(config.num_servers, TransferPolicy::default()),
+            staged: Vec::new(),
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
         }
@@ -402,6 +450,28 @@ impl ClusterManager {
     /// The migration cost model in effect.
     pub fn migration_cost(&self) -> MigrationCostModel {
         self.cost_model
+    }
+
+    /// Builder-style transfer-scheduling policy override. The default is
+    /// [`TransferPolicy::fifo`] — greedy request-order booking, bit-identical
+    /// to the behaviour before the scheduler existed. `SmallestFirst` and
+    /// `Edf` reorder each capacity event's transfer batch; EDF additionally
+    /// refuses transfers that provably cannot beat their deadline. Must be
+    /// applied before the first capacity event (it resets the scheduler's
+    /// bandwidth ledgers).
+    pub fn with_transfer_policy(mut self, policy: TransferPolicy) -> Self {
+        self.scheduler = TransferScheduler::new(self.controllers.len(), policy);
+        self
+    }
+
+    /// The transfer-scheduling policy in effect.
+    pub fn transfer_policy(&self) -> TransferPolicy {
+        self.scheduler.policy()
+    }
+
+    /// Scheduler accounting: slots booked, EDF rejections, queueing delay.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
     }
 
     /// Number of transfers currently on the wire.
@@ -546,6 +616,19 @@ impl ClusterManager {
             return 1.0;
         }
         self.controllers[idx].server().capacity[deflate_core::resources::ResourceKind::Cpu] / base
+    }
+
+    /// Record one CPU-utilisation sample (fraction of the full allocation)
+    /// for a running VM — fed by the simulator from the VM's trace. The
+    /// domain's recent history drives the dirty-rate term of the migration
+    /// cost model: write-heavy VMs get longer transfer estimates, which
+    /// EDF admission control compares against the reclamation deadline.
+    pub fn observe_vm_utilization(&mut self, vm: VmId, sample: f64) {
+        if let Some(&idx) = self.vm_location.get(&vm) {
+            if let Some(domain) = self.controllers[idx].server_mut().domain_mut(vm) {
+                domain.observe_cpu_utilization(sample);
+            }
+        }
     }
 
     /// Place a new VM, reclaiming resources if necessary.
@@ -892,26 +975,29 @@ impl ClusterManager {
                 } else {
                     // Costed transfer: reserve the origin-side capacity now,
                     // keep the VM running where it is, and let the
-                    // MigrationComplete event land it back home.
+                    // MigrationComplete event land it back home. Staged like
+                    // any other transfer; the deadline is infinite because
+                    // restitutions are not emergencies.
                     if self.controllers[idx]
                         .server_mut()
                         .create_domain(spec, self.mechanism)
                         .is_ok()
                     {
-                        self.schedule_transfer(
+                        self.staged.push(StagedTransfer {
                             vm,
-                            current,
-                            idx,
-                            now_secs,
-                            f64::INFINITY,
-                            true,
-                            duration,
-                            volume,
-                            &mut outcome,
-                        );
+                            source: current,
+                            dest: idx,
+                            duration_secs: duration,
+                            volume_mb: volume,
+                            deadline_secs: f64::INFINITY,
+                            back: true,
+                            origin_inserted: false,
+                        });
+                        outcome.touch(server);
                     }
                 }
             }
+            self.finalize_staged(now_secs, &mut outcome);
         }
         debug_assert!(self.fits_with_pending(idx));
         outcome
@@ -924,8 +1010,16 @@ impl ClusterManager {
     /// and each is re-admitted on the best other server — deflating that
     /// server's residents when `deflation_aware` is set. Each migration is
     /// charged by the cost model: instant transfers complete inline, costed
-    /// ones become in-flight (queued behind the bandwidth budget, aborted
-    /// at `deadline_secs` if the copy cannot finish in time).
+    /// ones are *staged* and handed to the [`TransferScheduler`] as one
+    /// batch — the scheduling policy decides their slot order, and under
+    /// EDF admission control may refuse transfers that provably cannot
+    /// finish before `deadline_secs` (those VMs fall through to the
+    /// eviction rung instead of aborting mid-transfer).
+    ///
+    /// With deflate-then-migrate enabled (and in deflation mode), each
+    /// candidate surrenders its page cache *before* its transfer is
+    /// estimated, shrinking the hot footprint — and thus the copy time —
+    /// under the deadline.
     fn migrate_until_fits(
         &mut self,
         source: usize,
@@ -934,7 +1028,23 @@ impl ClusterManager {
         deadline_secs: f64,
         outcome: &mut CapacityChangeOutcome,
     ) {
+        debug_assert!(self.staged.is_empty());
+        self.stage_migrations_until_fits(source, deflation_aware, deadline_secs, outcome);
+        self.finalize_staged(now_secs, outcome);
+    }
+
+    /// The candidate-selection half of [`migrate_until_fits`]: pick
+    /// migration candidates and destinations, completing cost-free moves
+    /// inline and staging costed ones for the scheduler.
+    fn stage_migrations_until_fits(
+        &mut self,
+        source: usize,
+        deflation_aware: bool,
+        deadline_secs: f64,
+        outcome: &mut CapacityChangeOutcome,
+    ) {
         let source_id = self.controllers[source].server().id;
+        let deflate_first = self.scheduler.policy().deflate_then_migrate && deflation_aware;
         let mut attempted: Vec<VmId> = Vec::new();
         loop {
             if self.fits_with_pending(source) {
@@ -968,6 +1078,18 @@ impl ClusterManager {
             };
             let Some(vm) = candidate else { return };
             attempted.push(vm);
+            if deflate_first {
+                // Deflate-then-migrate: the guest gives up its page cache
+                // before the copy is estimated, so only the RSS has to
+                // cross the link. (The squeeze persists if no destination
+                // is found — the cache regrows with the next usage
+                // report, and a cheaper future transfer is no loss.)
+                if let Some(domain) = self.controllers[source].server_mut().domain_mut(vm) {
+                    if domain.spec.deflatable {
+                        domain.deflate_for_migration();
+                    }
+                }
+            }
             let Some((spec, duration, volume)) =
                 self.controllers[source].server().domain(vm).map(|d| {
                     (
@@ -1006,99 +1128,91 @@ impl ClusterManager {
                 outcome.touch(self.controllers[target].server().id);
             } else {
                 // Costed transfer: the destination reservation exists, the
-                // source copy keeps running until MigrationComplete.
+                // source copy keeps running; the scheduler grants (or
+                // refuses) the bandwidth slot when the batch is finalised.
+                let origin_inserted = !self.migration_origin.contains_key(&vm);
                 self.migration_origin.entry(vm).or_insert(source);
-                self.schedule_transfer(
+                self.staged.push(StagedTransfer {
                     vm,
                     source,
-                    target,
-                    now_secs,
+                    dest: target,
+                    duration_secs: duration,
+                    volume_mb: volume,
                     deadline_secs,
-                    false,
-                    duration,
-                    volume,
-                    outcome,
-                );
+                    back: false,
+                    origin_inserted,
+                });
+                outcome.touch(self.controllers[target].server().id);
             }
         }
     }
 
-    /// Book an in-flight transfer: find the earliest start respecting both
-    /// endpoints' bandwidth budgets, reserve the slots, register the
-    /// migration and report it in the outcome so the simulator can schedule
-    /// its `MigrationComplete` event.
-    #[allow(clippy::too_many_arguments)]
-    fn schedule_transfer(
-        &mut self,
-        vm: VmId,
-        source: usize,
-        dest: usize,
-        now_secs: f64,
-        deadline_secs: f64,
-        back: bool,
-        duration: f64,
-        volume_mb: f64,
-        outcome: &mut CapacityChangeOutcome,
-    ) {
-        let start = self
-            .earliest_slot(source, now_secs)
-            .max(self.earliest_slot(dest, now_secs));
-        let flight = InFlight {
-            vm,
-            source,
-            dest,
-            start_secs: start,
-            finish_secs: start + duration,
-            deadline_secs,
-            volume_mb,
-            back,
-        };
-        let event = flight.event_secs();
-        // The transfer occupies one link worth of both endpoints' budgets
-        // until it completes or is aborted at the deadline.
-        if start < deadline_secs {
-            self.reserve_slot(source, now_secs, event);
-            self.reserve_slot(dest, now_secs, event);
-        }
-        let id = self.next_migration_id;
-        self.next_migration_id += 1;
-        self.in_flight.insert(id, flight);
-        self.in_flight_by_vm.insert(vm, id);
-        outcome.started.push(PendingMigration {
-            id,
-            vm,
-            from: self.controllers[source].server().id,
-            to: self.controllers[dest].server().id,
-            start_secs: start,
-            event_secs: event,
-        });
-        outcome.touch(self.controllers[dest].server().id);
-    }
-
-    /// The earliest time a new transfer can start on this server given its
-    /// concurrent-transfer budget: `now` when a slot is free, otherwise the
-    /// moment enough ongoing transfers have drained.
-    fn earliest_slot(&mut self, idx: usize, now_secs: f64) -> f64 {
-        let slots = self.cost_model.concurrent_slots();
-        if slots == usize::MAX {
-            return now_secs;
-        }
-        // Drop reservations that have already drained.
-        let ledger = &mut self.bandwidth_reservations[idx];
-        ledger.retain(|&end| end > now_secs);
-        if ledger.len() < slots {
-            return now_secs;
-        }
-        let mut ends = ledger.clone();
-        ends.sort_by(f64::total_cmp);
-        ends[ends.len() - slots]
-    }
-
-    fn reserve_slot(&mut self, idx: usize, now_secs: f64, until_secs: f64) {
-        if self.cost_model.concurrent_slots() == usize::MAX || until_secs <= now_secs {
+    /// Hand the current decision batch to the [`TransferScheduler`] and
+    /// resolve its verdicts: booked transfers become in-flight (the caller
+    /// schedules a `MigrationComplete` event for each), EDF-rejected ones
+    /// release their destination reservation and leave the VM on its
+    /// source — the eviction rung handles it if the room is still needed.
+    fn finalize_staged(&mut self, now_secs: f64, outcome: &mut CapacityChangeOutcome) {
+        if self.staged.is_empty() {
             return;
         }
-        self.bandwidth_reservations[idx].push(until_secs);
+        let staged = std::mem::take(&mut self.staged);
+        let requests: Vec<TransferRequest> = staged
+            .iter()
+            .map(|s| TransferRequest {
+                vm: s.vm,
+                source: s.source,
+                dest: s.dest,
+                duration_secs: s.duration_secs,
+                volume_mb: s.volume_mb,
+                deadline_secs: s.deadline_secs,
+            })
+            .collect();
+        let slots = self.cost_model.concurrent_slots();
+        let decisions = self.scheduler.book_batch(&requests, now_secs, slots);
+        for (s, decision) in staged.into_iter().zip(decisions) {
+            match decision {
+                TransferDecision::Booked {
+                    start_secs,
+                    event_secs,
+                } => {
+                    let flight = InFlight {
+                        vm: s.vm,
+                        source: s.source,
+                        dest: s.dest,
+                        start_secs,
+                        finish_secs: start_secs + s.duration_secs,
+                        deadline_secs: s.deadline_secs,
+                        volume_mb: s.volume_mb,
+                        back: s.back,
+                    };
+                    debug_assert_eq!(flight.event_secs(), event_secs);
+                    let id = self.next_migration_id;
+                    self.next_migration_id += 1;
+                    self.in_flight.insert(id, flight);
+                    self.in_flight_by_vm.insert(s.vm, id);
+                    outcome.started.push(PendingMigration {
+                        id,
+                        vm: s.vm,
+                        from: self.controllers[s.source].server().id,
+                        to: self.controllers[s.dest].server().id,
+                        start_secs,
+                        event_secs,
+                    });
+                }
+                TransferDecision::Rejected => {
+                    // Admission control: the copy provably cannot beat the
+                    // deadline, so no link time is wasted on it. Drop the
+                    // destination reservation; the VM stays on its source.
+                    self.depart_and_reinflate(s.dest, s.vm);
+                    if s.origin_inserted {
+                        self.migration_origin.remove(&s.vm);
+                    }
+                    self.transient.migration_rejections += 1;
+                    outcome.touch(self.controllers[s.dest].server().id);
+                }
+            }
+        }
     }
 
     /// Resolve an in-flight migration when its `MigrationComplete` event
@@ -1151,10 +1265,10 @@ impl ClusterManager {
     }
 
     /// Resources pledged to leave this server: the effective allocations of
-    /// resident domains whose in-flight transfer has this server as its
-    /// source. They still physically occupy the server but are on their way
-    /// out (or will be evicted at the deadline), so capacity checks during
-    /// a transfer subtract them.
+    /// resident domains whose in-flight *or staged* transfer has this
+    /// server as its source. They still physically occupy the server but
+    /// are on their way out (or will be evicted at the deadline), so
+    /// capacity checks during a transfer subtract them.
     fn pending_outbound(&self, idx: usize) -> ResourceVector {
         // Sum in VM-id order, not HashMap iteration order: f64 addition is
         // not associative and a run-to-run fold-order difference could
@@ -1165,8 +1279,10 @@ impl ClusterManager {
             .values()
             .filter(|m| m.source == idx)
             .map(|m| m.vm)
+            .chain(self.staged.iter().filter(|s| s.source == idx).map(|s| s.vm))
             .collect();
         vms.sort();
+        vms.dedup();
         vms.into_iter()
             .filter_map(|vm| self.controllers[idx].server().domain(vm))
             .fold(ResourceVector::ZERO, |acc, d| {
@@ -1522,6 +1638,7 @@ mod tests {
             setup_floor_secs: 0.0,
             per_server_bandwidth_mbps: 100.0,
             reclaim_deadline_secs: f64::INFINITY,
+            ..MigrationCostModel::instant()
         }
     }
 
@@ -1701,6 +1818,150 @@ mod tests {
             cluster.complete_migration(pending.id, pending.event_secs),
             CapacityChangeOutcome::default()
         );
+        assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn edf_rejects_doomed_transfers_instead_of_aborting_them() {
+        // Two VMs on one server, one transfer slot, and a deadline that
+        // only fits one ~41 s copy: FIFO books both (the second aborts at
+        // the deadline); EDF refuses the second up front.
+        let config = ClusterConfig {
+            num_servers: 3,
+            server_capacity: ResourceVector::cpu_mem(16_000.0, 32_768.0),
+            placement: PlacementKind::FirstFit,
+            partitions: PartitionScheme::None,
+            mechanism: DeflationMechanism::Transparent,
+        };
+        let model = slow_model().with_deadline_secs(50.0);
+        let run = |policy: TransferPolicy| {
+            let mut cluster = ClusterManager::new(&config, ReclamationMode::MigrationOnly)
+                .with_migration_cost(model)
+                .with_transfer_policy(policy);
+            assert!(cluster.place_vm(vm(1, 8.0, 0.5)).is_placed());
+            assert!(cluster.place_vm(vm(2, 8.0, 0.5)).is_placed());
+            let outcome = cluster.reclaim_capacity(ServerId(0), 0.1, 0.0);
+            for pending in outcome.started.clone() {
+                cluster.complete_migration(pending.id, pending.event_secs);
+            }
+            (cluster, outcome)
+        };
+
+        let (fifo, fifo_out) = run(TransferPolicy::fifo());
+        assert_eq!(fifo_out.started.len(), 2);
+        assert_eq!(fifo.transient_counters().migration_aborts, 1);
+        assert_eq!(fifo.transient_counters().migration_rejections, 0);
+        assert_eq!(fifo.scheduler_stats().rejected, 0);
+
+        let (edf, edf_out) = run(TransferPolicy::edf());
+        assert_eq!(edf_out.started.len(), 1, "outcome: {edf_out:?}");
+        assert_eq!(edf.transient_counters().migration_aborts, 0);
+        assert_eq!(edf.transient_counters().migration_rejections, 1);
+        assert_eq!(edf.scheduler_stats().rejected, 1);
+        // Both policies lose the second VM — but EDF evicts it immediately
+        // without spending 9 seconds of link time on a doomed copy, and
+        // records no abort.
+        assert_eq!(edf.transient_counters().reclamation_victims, 1);
+        assert!(edf.check_invariants());
+    }
+
+    #[test]
+    fn smallest_first_reorders_a_batch_by_volume() {
+        let config = ClusterConfig {
+            num_servers: 3,
+            server_capacity: ResourceVector::cpu_mem(16_000.0, 65_536.0),
+            placement: PlacementKind::FirstFit,
+            partitions: PartitionScheme::None,
+            mechanism: DeflationMechanism::Transparent,
+        };
+        let mut cluster = ClusterManager::new(&config, ReclamationMode::MigrationOnly)
+            .with_migration_cost(slow_model())
+            .with_transfer_policy(TransferPolicy::smallest_first());
+        // A big VM (lower id → selected first) and a small one.
+        let big = VmSpec::deflatable(
+            VmId(1),
+            VmClass::Interactive,
+            ResourceVector::cpu_mem(8_000.0, 16_384.0),
+        );
+        let small = VmSpec::deflatable(
+            VmId(2),
+            VmClass::Interactive,
+            ResourceVector::cpu_mem(8_000.0, 4_096.0),
+        );
+        assert!(cluster.place_vm(big).is_placed());
+        assert!(cluster.place_vm(small).is_placed());
+        let outcome = cluster.reclaim_capacity(ServerId(0), 0.05, 0.0);
+        assert_eq!(outcome.started.len(), 2);
+        let by_vm = |id: u64| {
+            outcome
+                .started
+                .iter()
+                .find(|p| p.vm == VmId(id))
+                .copied()
+                .unwrap()
+        };
+        // The small copy gets the slot first; the big one queues behind it.
+        assert_eq!(by_vm(2).start_secs, 0.0);
+        assert!((by_vm(1).start_secs - by_vm(2).event_secs).abs() < 1e-9);
+        assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn deflate_then_migrate_shrinks_the_copy_under_the_deadline() {
+        // One VM whose full hot footprint (4096 MiB at 100 MiB/s ≈ 41 s)
+        // blows a 30 s deadline, but whose RSS alone (2048 MiB ≈ 20.5 s)
+        // fits. Plain EDF must reject the transfer; EDF + deflate-then-
+        // migrate squeezes the cache first and the copy makes it.
+        let model = slow_model().with_deadline_secs(30.0);
+        let run = |policy: TransferPolicy| {
+            let mut cluster = small_cluster(deflation_mode())
+                .with_migration_cost(model)
+                .with_transfer_policy(policy);
+            // A minimum allocation keeps deflation from absorbing the
+            // reclamation, forcing the migration rung of the ladder.
+            let spec = VmSpec::deflatable(
+                VmId(1),
+                VmClass::Interactive,
+                ResourceVector::cpu_mem(8_000.0, 8_192.0),
+            )
+            .with_min_allocation(ResourceVector::cpu_mem(6_000.0, 8_192.0));
+            assert!(cluster.place_vm(spec).is_placed());
+            let source = cluster.locate(VmId(1)).unwrap();
+            let outcome = cluster.reclaim_capacity(source, 0.1, 0.0);
+            (cluster, outcome)
+        };
+
+        let (plain, plain_out) = run(TransferPolicy::edf());
+        assert!(
+            plain_out.started.is_empty(),
+            "a 41 s copy cannot beat a 30 s deadline: {plain_out:?}"
+        );
+        assert_eq!(plain.transient_counters().migration_rejections, 1);
+
+        let (squeezed, squeezed_out) = run(TransferPolicy::edf().with_deflate_then_migrate(true));
+        assert_eq!(squeezed_out.started.len(), 1, "outcome: {squeezed_out:?}");
+        let pending = squeezed_out.started[0];
+        // Only the RSS crosses the link: 2048 MiB at 100 MiB/s.
+        assert!((pending.event_secs - 20.48).abs() < 1e-9);
+        assert_eq!(squeezed.transient_counters().migration_rejections, 0);
+        assert!(squeezed.check_invariants());
+    }
+
+    #[test]
+    fn utilization_observations_feed_transfer_estimates() {
+        let model = slow_model().with_dirty_rate(50.0, 1.0);
+        let mut cluster = small_cluster(ReclamationMode::MigrationOnly).with_migration_cost(model);
+        assert!(cluster.place_vm(vm(1, 8.0, 0.5)).is_placed());
+        let source = cluster.locate(VmId(1)).unwrap();
+        // A busy guest dirties pages at half the link rate: the transfer
+        // stretches by 1/(1−0.5) over the idle estimate.
+        for _ in 0..8 {
+            cluster.observe_vm_utilization(VmId(1), 1.0);
+        }
+        let outcome = cluster.reclaim_capacity(source, 0.4, 0.0);
+        assert_eq!(outcome.started.len(), 1);
+        // Idle: 4096/100 = 40.96 s; busy: ×2.
+        assert!((outcome.started[0].event_secs - 81.92).abs() < 1e-9);
         assert!(cluster.check_invariants());
     }
 

@@ -2,6 +2,7 @@
 //! (§7.4: failure probability, throughput loss, revenue).
 
 use crate::manager::{AdmissionCounters, TransientCounters};
+use crate::scheduler::SchedulerStats;
 use deflate_core::pricing::{PricingPolicy, RateCard};
 use deflate_core::vm::VmSpec;
 use deflate_core::vm::{ServerId, VmId};
@@ -180,6 +181,9 @@ pub struct SimResult {
     /// Transient-capacity counters from the cluster manager (all zero for
     /// runs without a capacity schedule).
     pub transient: TransientCounters,
+    /// Transfer-scheduler accounting: bandwidth slots booked, EDF admission
+    /// rejections, and queueing delay behind the per-server budgets.
+    pub scheduler: SchedulerStats,
     /// Every migration performed, in time order.
     pub migrations: Vec<MigrationEvent>,
     /// Cluster-utilisation samples `(time_secs, effective used / currently
@@ -242,6 +246,18 @@ impl SimResult {
     /// reclamation deadline expired (each also evicted its VM).
     pub fn migration_abort_count(&self) -> usize {
         self.transient.migration_aborts
+    }
+
+    /// Number of migrations the transfer scheduler refused up front (EDF
+    /// admission control: the copy provably could not beat its deadline).
+    pub fn migration_rejection_count(&self) -> usize {
+        self.transient.migration_rejections
+    }
+
+    /// Mean time booked transfers spent queued for a bandwidth slot,
+    /// seconds.
+    pub fn mean_queue_wait_secs(&self) -> f64 {
+        self.scheduler.mean_queue_wait_secs()
     }
 
     /// Deflatable VMs lost to capacity reclamations either way: evicted
@@ -429,6 +445,7 @@ mod tests {
             records: vec![completed, rejected, deflated],
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
+            scheduler: SchedulerStats::default(),
             migrations: vec![],
             utilization: vec![],
             num_servers: 2,
@@ -456,6 +473,7 @@ mod tests {
             records: vec![],
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
+            scheduler: SchedulerStats::default(),
             migrations: vec![],
             utilization: vec![],
             num_servers: 0,

@@ -27,6 +27,7 @@
 use crate::manager::{ClusterConfig, ClusterManager, PlacementResult, ReclamationMode};
 use crate::metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
 use crate::spec::WorkloadVm;
+use deflate_core::policy::TransferPolicy;
 use deflate_core::resources::ResourceKind;
 use deflate_core::vm::VmId;
 use deflate_hypervisor::migration::MigrationCostModel;
@@ -42,6 +43,7 @@ pub struct ClusterSimulation {
     utilization_tick_secs: Option<f64>,
     migrate_back: bool,
     migration_cost: MigrationCostModel,
+    transfer_policy: TransferPolicy,
 }
 
 impl ClusterSimulation {
@@ -56,6 +58,7 @@ impl ClusterSimulation {
             utilization_tick_secs: None,
             migrate_back: false,
             migration_cost: MigrationCostModel::instant(),
+            transfer_policy: TransferPolicy::default(),
         }
     }
 
@@ -64,6 +67,15 @@ impl ClusterSimulation {
     /// the reclamation deadline (losing the race evicts the VM).
     pub fn with_migration_cost(mut self, model: MigrationCostModel) -> Self {
         self.migration_cost = model;
+        self
+    }
+
+    /// Schedule migration-bandwidth slots under the given policy: FIFO
+    /// (the default — bit-identical to the pre-scheduler greedy booking),
+    /// smallest-transfer-first, or deadline-aware EDF with admission
+    /// control. See [`TransferPolicy`].
+    pub fn with_transfer_policy(mut self, policy: TransferPolicy) -> Self {
+        self.transfer_policy = policy;
         self
     }
 
@@ -93,7 +105,8 @@ impl ClusterSimulation {
     /// counters.
     pub fn run(&self, workload: &[WorkloadVm]) -> SimResult {
         let mut manager = ClusterManager::new(&self.config, self.mode.clone())
-            .with_migration_cost(self.migration_cost);
+            .with_migration_cost(self.migration_cost)
+            .with_transfer_policy(self.transfer_policy);
 
         // Schedule every event up front. The queue's deterministic total
         // order (time, then kind, then id) makes the run independent of
@@ -217,6 +230,7 @@ impl ClusterSimulation {
                     server,
                     available_fraction,
                 } => {
+                    Self::observe_utilizations(&mut manager, workload, &running, time);
                     let outcome = manager.reclaim_capacity(server, available_fraction, time);
                     Self::apply_capacity_outcome(
                         &manager,
@@ -233,6 +247,7 @@ impl ClusterSimulation {
                     server,
                     available_fraction,
                 } => {
+                    Self::observe_utilizations(&mut manager, workload, &running, time);
                     let outcome = manager.restore_capacity(
                         server,
                         available_fraction,
@@ -290,11 +305,34 @@ impl ClusterSimulation {
             records,
             counters: manager.counters(),
             transient: manager.transient_counters(),
+            scheduler: manager.scheduler_stats(),
             migrations,
             utilization,
             num_servers: self.config.num_servers,
             overcommitment,
             policy_name: self.mode.name().to_string(),
+        }
+    }
+
+    /// Refresh every running VM's recent-utilisation sample from its trace
+    /// ahead of a capacity event, so the migration cost model estimates
+    /// transfers from current behaviour rather than boot-time idleness.
+    /// Only consequential — and only paid for — when a dirty-rate model
+    /// is active: without one the samples could never influence an
+    /// estimate, so the O(workload) pass is skipped.
+    fn observe_utilizations(
+        manager: &mut ClusterManager,
+        workload: &[WorkloadVm],
+        running: &[bool],
+        time: f64,
+    ) {
+        if manager.migration_cost().dirty_rate_mbps <= 0.0 {
+            return;
+        }
+        for (i, vm) in workload.iter().enumerate() {
+            if running[i] {
+                manager.observe_vm_utilization(vm.spec.id, vm.cpu_util.at(time - vm.arrival_secs));
+            }
         }
     }
 

@@ -18,6 +18,12 @@
 //! memory, disk bandwidth, network bandwidth) individually" (§5.1.1). The
 //! [`VectorPlanner`] lifts any scalar policy to full [`ResourceVector`]s.
 //!
+//! Besides the deflation policies this module also carries the
+//! [`transfer`] knob: the cluster-level [`TransferPolicy`] describing how
+//! queued live migrations are ordered against per-server bandwidth budgets
+//! (FIFO / smallest-first / deadline-aware EDF, optionally
+//! deflate-then-migrate).
+//!
 //! Reinflation (§5.1.3 "Reinflation") is expressed by calling
 //! [`DeflationPolicy::plan`] with a *negative* demand: the policy runs
 //! backwards and distributes the freed resources across previously deflated
@@ -26,10 +32,12 @@
 pub mod deterministic;
 pub mod priority;
 pub mod proportional;
+pub mod transfer;
 
 pub use deterministic::DeterministicDeflation;
 pub use priority::PriorityDeflation;
 pub use proportional::ProportionalDeflation;
+pub use transfer::{TransferOrdering, TransferPolicy};
 
 use crate::resources::{ResourceKind, ResourceVector};
 use crate::vm::{VmAllocation, VmId};

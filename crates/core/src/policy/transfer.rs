@@ -1,0 +1,129 @@
+//! Cluster-level transfer-scheduling policy knob.
+//!
+//! Live migrations compete for a finite per-server migration-bandwidth
+//! budget, and on transient servers every outbound transfer races the
+//! provider's reclamation deadline. *Which* queued transfer gets the next
+//! bandwidth slot therefore decides how many VMs survive a reclamation:
+//! booking slots greedily in request order can spend the whole window on a
+//! transfer that was always going to miss its deadline while smaller or
+//! more urgent transfers starve behind it.
+//!
+//! This module holds only the *policy description* — a plain, serialisable
+//! knob; the scheduler that enforces it lives in `deflate-cluster`
+//! (`TransferScheduler`), next to the bandwidth ledger it reorders.
+
+use serde::{Deserialize, Serialize};
+
+/// Order in which queued live migrations are granted bandwidth slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TransferOrdering {
+    /// Book slots in request order — the historical greedy behaviour, and
+    /// the default (experiments comparing against earlier results rely on
+    /// it being bit-identical).
+    #[default]
+    Fifo,
+    /// Smallest transfer volume first: within a decision batch, short
+    /// copies finish before the deadline instead of queueing behind long
+    /// ones (the classic throughput-maximising order for a shared link).
+    SmallestFirst,
+    /// Earliest deadline first, with **admission control**: a transfer
+    /// whose earliest possible start plus its estimated duration already
+    /// overshoots its source's reclamation deadline is *rejected* up front
+    /// — the VM falls back to deflate-or-evict immediately instead of
+    /// wasting link time on a copy that is doomed to abort.
+    Edf,
+}
+
+impl TransferOrdering {
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransferOrdering::Fifo => "fifo",
+            TransferOrdering::SmallestFirst => "smallest-first",
+            TransferOrdering::Edf => "edf",
+        }
+    }
+}
+
+/// How the cluster schedules live migrations under bandwidth pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct TransferPolicy {
+    /// Slot-granting order for queued transfers.
+    pub ordering: TransferOrdering,
+    /// Deflate migration candidates *before* starting their page copy
+    /// (deflate-then-migrate): the guest surrenders its page cache, so the
+    /// hot footprint — and with it the transfer time — shrinks under the
+    /// reclamation deadline. Only meaningful in deflation mode; the
+    /// migration-only baseline never deflates by definition.
+    pub deflate_then_migrate: bool,
+}
+
+impl TransferPolicy {
+    /// The historical greedy policy: FIFO booking, no pre-migration
+    /// deflation. Reproduces the behaviour before the scheduler existed.
+    pub fn fifo() -> Self {
+        TransferPolicy {
+            ordering: TransferOrdering::Fifo,
+            deflate_then_migrate: false,
+        }
+    }
+
+    /// Smallest-transfer-first booking.
+    pub fn smallest_first() -> Self {
+        TransferPolicy {
+            ordering: TransferOrdering::SmallestFirst,
+            deflate_then_migrate: false,
+        }
+    }
+
+    /// Deadline-aware booking (EDF + admission control).
+    pub fn edf() -> Self {
+        TransferPolicy {
+            ordering: TransferOrdering::Edf,
+            deflate_then_migrate: false,
+        }
+    }
+
+    /// Builder-style toggle for deflate-then-migrate.
+    pub fn with_deflate_then_migrate(mut self, enabled: bool) -> Self {
+        self.deflate_then_migrate = enabled;
+        self
+    }
+
+    /// Short name used in experiment output (`edf+deflate` when
+    /// deflate-then-migrate is on).
+    pub fn name(&self) -> &'static str {
+        match (self.ordering, self.deflate_then_migrate) {
+            (TransferOrdering::Fifo, false) => "fifo",
+            (TransferOrdering::Fifo, true) => "fifo+deflate",
+            (TransferOrdering::SmallestFirst, false) => "smallest-first",
+            (TransferOrdering::SmallestFirst, true) => "smallest-first+deflate",
+            (TransferOrdering::Edf, false) => "edf",
+            (TransferOrdering::Edf, true) => "edf+deflate",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reproduce_the_greedy_behaviour() {
+        assert_eq!(TransferPolicy::default(), TransferPolicy::fifo());
+        assert_eq!(TransferOrdering::default(), TransferOrdering::Fifo);
+        assert!(!TransferPolicy::default().deflate_then_migrate);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TransferPolicy::fifo().name(), "fifo");
+        assert_eq!(TransferPolicy::smallest_first().name(), "smallest-first");
+        assert_eq!(TransferPolicy::edf().name(), "edf");
+        assert_eq!(
+            TransferPolicy::edf().with_deflate_then_migrate(true).name(),
+            "edf+deflate"
+        );
+        assert_eq!(TransferOrdering::SmallestFirst.name(), "smallest-first");
+    }
+}

@@ -61,6 +61,10 @@ pub struct DeflationOutcome {
     pub via_multiplexing: f64,
 }
 
+/// Number of CPU-utilisation samples a domain remembers for migration cost
+/// estimation (the "recent history" window).
+pub const CPU_UTIL_HISTORY_LEN: usize = 8;
+
 /// A simulated VM under hypervisor control.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Domain {
@@ -72,6 +76,12 @@ pub struct Domain {
     pub cgroups: CgroupSet,
     /// Mechanism used for subsequent deflation requests.
     pub mechanism: DeflationMechanism,
+    /// Recent CPU-utilisation samples (fractions of the full allocation,
+    /// newest last, at most [`CPU_UTIL_HISTORY_LEN`]). The migration cost
+    /// model reads this to estimate the domain's page-dirtying rate:
+    /// write-heavy guests re-dirty pages during pre-copy and pay extra
+    /// rounds, idle guests converge in one.
+    cpu_util_history: Vec<f64>,
 }
 
 impl Domain {
@@ -90,7 +100,34 @@ impl Domain {
             guest,
             cgroups,
             mechanism,
+            cpu_util_history: Vec::new(),
         }
+    }
+
+    /// Record one CPU-utilisation sample (fraction of the full allocation,
+    /// clamped to `[0, 1]`) into the bounded recent history.
+    pub fn observe_cpu_utilization(&mut self, sample: f64) {
+        if self.cpu_util_history.len() >= CPU_UTIL_HISTORY_LEN {
+            self.cpu_util_history.remove(0);
+        }
+        self.cpu_util_history.push(sample.clamp(0.0, 1.0));
+    }
+
+    /// Mean of the recent CPU-utilisation history, `0.0` when no sample has
+    /// been observed yet (a freshly booted guest is idle). Feeds the
+    /// dirty-rate term of the migration cost model.
+    pub fn recent_cpu_utilization(&self) -> f64 {
+        if self.cpu_util_history.is_empty() {
+            return 0.0;
+        }
+        self.cpu_util_history.iter().sum::<f64>() / self.cpu_util_history.len() as f64
+    }
+
+    /// The deflate-then-migrate squeeze: surrender the guest's page cache
+    /// before a live migration so only the RSS has to cross the link.
+    /// Returns the MiB shaved off the hot footprint.
+    pub fn deflate_for_migration(&mut self) -> f64 {
+        self.guest.drop_page_cache()
     }
 
     /// The allocation currently granted on each dimension, i.e. the tighter
@@ -132,6 +169,7 @@ impl Domain {
         };
         self.guest.report_usage(usage.memory(), page_cache_mb, busy);
         self.cgroups.set_usages(usage);
+        self.observe_cpu_utilization(busy);
     }
 
     /// Apply a target allocation vector through this domain's mechanism.
@@ -315,6 +353,35 @@ mod tests {
         assert_eq!(d.effective_allocation(), spec().max_allocation);
         assert_eq!(d.guest.online_vcpus(), 8);
         assert_eq!(d.deflation_fraction(ResourceKind::Cpu), 0.0);
+    }
+
+    #[test]
+    fn cpu_utilization_history_is_bounded_and_averaged() {
+        let mut d = Domain::launch(spec());
+        assert_eq!(d.recent_cpu_utilization(), 0.0, "fresh guests are idle");
+        d.observe_cpu_utilization(0.5);
+        d.observe_cpu_utilization(1.5); // clamped to 1.0
+        assert!((d.recent_cpu_utilization() - 0.75).abs() < 1e-9);
+        // The window is bounded: old samples fall out.
+        for _ in 0..CPU_UTIL_HISTORY_LEN {
+            d.observe_cpu_utilization(0.2);
+        }
+        assert!((d.recent_cpu_utilization() - 0.2).abs() < 1e-9);
+        // Guest-usage reports feed the same history (busy = 2000/8000).
+        let mut fed = Domain::launch(spec());
+        fed.report_guest_usage(ResourceVector::new(2000.0, 4000.0, 0.0, 0.0), 1000.0);
+        assert!((fed.recent_cpu_utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deflate_for_migration_drops_cache_only() {
+        let mut d = Domain::launch(spec());
+        let cache = d.guest.page_cache_mb();
+        assert!(cache > 0.0);
+        assert_eq!(d.deflate_for_migration(), cache);
+        assert_eq!(d.guest.page_cache_mb(), 0.0);
+        // Allocations are untouched — the squeeze is guest-internal.
+        assert_eq!(d.effective_allocation(), spec().max_allocation);
     }
 
     #[test]

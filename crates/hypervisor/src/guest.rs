@@ -180,6 +180,17 @@ impl GuestOs {
     pub fn supports_hot_unplug(kind: ResourceKind) -> bool {
         matches!(kind, ResourceKind::Cpu | ResourceKind::Memory)
     }
+
+    /// Ask the guest to surrender its page cache (the deflate-then-migrate
+    /// squeeze): clean cache pages are dropped instead of being copied over
+    /// the migration link, shrinking the hot footprint down to the RSS.
+    /// Returns the MiB released. The cache regrows the next time the
+    /// workload reports usage.
+    pub fn drop_page_cache(&mut self) -> f64 {
+        let dropped = self.page_cache_mb;
+        self.page_cache_mb = 0.0;
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +205,18 @@ mod tests {
         assert!(g.rss_mb() > 0.0);
         assert_eq!(GuestOs::boot(0, 10.0).online_vcpus(), 1);
         assert!(GuestOs::boot(0, 10.0).boot_memory_mb() >= MEMORY_BLOCK_MB);
+    }
+
+    #[test]
+    fn drop_page_cache_releases_everything_and_regrows_on_report() {
+        let mut g = GuestOs::boot(4, 8192.0);
+        g.report_usage(2048.0, 1024.0, 0.2);
+        assert_eq!(g.drop_page_cache(), 1024.0);
+        assert_eq!(g.page_cache_mb(), 0.0);
+        assert_eq!(g.rss_mb(), 2048.0, "RSS must survive the squeeze");
+        // The next usage report regrows the cache.
+        g.report_usage(2048.0, 512.0, 0.2);
+        assert_eq!(g.page_cache_mb(), 512.0);
     }
 
     #[test]

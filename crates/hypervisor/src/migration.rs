@@ -18,7 +18,14 @@
 //!   copied by post-copy/ballooned migration);
 //! * the **dirty-page overhead** factor (`>= 1.0`) models the extra
 //!   pre-copy rounds needed to re-send pages the guest dirties while the
-//!   copy is running — bounded by the dirty rate over the link bandwidth;
+//!   copy is running — bounded by the dirty rate over the link bandwidth.
+//!   By default it is a constant; switching on the **dirty-rate model**
+//!   ([`MigrationCostModel::with_dirty_rate`]) derives it from the
+//!   domain's recent CPU-utilisation history instead: write-heavy guests
+//!   pay the geometric pre-copy series `1/(1 − dirty/link)`, and guests
+//!   whose dirty rate exceeds [`PRECOPY_CONVERGENCE_LIMIT`] of the link
+//!   never converge — they are charged a final **stop-and-copy** downtime
+//!   on top of the page volume;
 //! * the **floor** is the fixed per-migration cost (connection setup, final
 //!   stop-and-copy round, device state) that even an idle VM pays;
 //! * the **per-server bandwidth budget** caps how many transfers a server
@@ -37,6 +44,13 @@
 
 use crate::domain::Domain;
 use serde::{Deserialize, Serialize};
+
+/// Dirty-to-link bandwidth ratio above which pre-copy is declared
+/// non-convergent: each round would re-send more than this fraction of the
+/// previous one, so the geometric series is cut off and the hypervisor
+/// falls back to stop-and-copy (the guest pauses while the remaining dirty
+/// set crosses the link).
+pub const PRECOPY_CONVERGENCE_LIMIT: f64 = 0.8;
 
 /// Cost model for live-migrating one [`Domain`] between servers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -60,6 +74,32 @@ pub struct MigrationCostModel {
     /// the shrinking server that cannot complete within this window are
     /// aborted and the VM is evicted. `f64::INFINITY` disables the race.
     pub reclaim_deadline_secs: f64,
+    /// Page-dirtying bandwidth of a fully-busy guest, MiB/s. When positive,
+    /// the pre-copy overhead is *derived* from the domain's recent CPU
+    /// utilisation instead of the constant `dirty_page_overhead`: a guest
+    /// at utilisation `u` dirties pages at `u × dirty_rate_mbps`, and each
+    /// pre-copy round must re-send what was dirtied during the previous
+    /// one. `0.0` (the default) keeps the constant-factor behaviour
+    /// bit-identical to the model before dirty-rate awareness existed.
+    pub dirty_rate_mbps: f64,
+    /// Extra downtime charged when pre-copy cannot converge (the dirty rate
+    /// exceeds [`PRECOPY_CONVERGENCE_LIMIT`] of the link): the guest is
+    /// paused for a final stop-and-copy round of its dirty working set.
+    pub stop_copy_downtime_secs: f64,
+}
+
+/// One migration's predicted cost, as estimated by
+/// [`MigrationCostModel::transfer_estimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferEstimate {
+    /// Predicted wall-clock transfer time, seconds (infinite when the
+    /// effective bandwidth is zero).
+    pub secs: f64,
+    /// Predicted bytes on the wire, MiB.
+    pub volume_mb: f64,
+    /// False when pre-copy was predicted not to converge and a
+    /// stop-and-copy downtime charge is included in `secs`.
+    pub converges: bool,
 }
 
 impl MigrationCostModel {
@@ -73,6 +113,8 @@ impl MigrationCostModel {
             setup_floor_secs: 0.0,
             per_server_bandwidth_mbps: f64::INFINITY,
             reclaim_deadline_secs: f64::INFINITY,
+            dirty_rate_mbps: 0.0,
+            stop_copy_downtime_secs: 0.0,
         }
     }
 
@@ -87,6 +129,8 @@ impl MigrationCostModel {
             setup_floor_secs: 0.5,
             per_server_bandwidth_mbps: 2500.0,
             reclaim_deadline_secs: 120.0,
+            dirty_rate_mbps: 0.0,
+            stop_copy_downtime_secs: 0.0,
         }
     }
 
@@ -100,6 +144,16 @@ impl MigrationCostModel {
     /// Builder-style override of the reclamation deadline.
     pub fn with_deadline_secs(mut self, deadline_secs: f64) -> Self {
         self.reclaim_deadline_secs = deadline_secs;
+        self
+    }
+
+    /// Builder-style switch to dirty-rate-aware pre-copy: a fully-busy
+    /// guest dirties pages at `dirty_rate_mbps`, and non-converging
+    /// transfers pay `stop_copy_downtime_secs` of stop-and-copy downtime.
+    /// The constant `dirty_page_overhead` is ignored while this is active.
+    pub fn with_dirty_rate(mut self, dirty_rate_mbps: f64, stop_copy_downtime_secs: f64) -> Self {
+        self.dirty_rate_mbps = dirty_rate_mbps.max(0.0);
+        self.stop_copy_downtime_secs = stop_copy_downtime_secs.max(0.0);
         self
     }
 
@@ -117,10 +171,73 @@ impl MigrationCostModel {
         (domain.guest.rss_mb() + domain.guest.page_cache_mb()).min(domain.guest.plugged_memory_mb())
     }
 
+    /// Pre-copy overhead factor for a CPU-utilisation estimate, and whether
+    /// pre-copy converges at that utilisation.
+    ///
+    /// Without a dirty-rate model this is the constant
+    /// `dirty_page_overhead` (always convergent). With one, a guest at
+    /// utilisation `u` dirties pages at `u × dirty_rate_mbps`; each
+    /// pre-copy round re-sends what the previous round's copy time let the
+    /// guest dirty, so the total volume is the geometric series
+    /// `footprint × 1/(1 − r)` with `r = dirty rate / link`. Beyond
+    /// [`PRECOPY_CONVERGENCE_LIMIT`] the series is cut off: the volume is
+    /// pinned at the limit's factor (`1/(1 − limit)` — the most pre-copy
+    /// the hypervisor will attempt before giving up) and the transfer is
+    /// flagged non-convergent so the stop-and-copy downtime charge
+    /// applies. Pinning (rather than dropping to a one-round factor)
+    /// keeps the cost **monotone in utilisation**: a busier guest is
+    /// never estimated cheaper than a calmer one.
+    fn precopy_overhead(&self, util: f64) -> (f64, bool) {
+        if self.dirty_rate_mbps <= 0.0 {
+            return (self.dirty_page_overhead.max(1.0), true);
+        }
+        let link = self.effective_link_mbps();
+        if link <= 0.0 || link.is_infinite() {
+            // No finite link: the transfer is impossible or instantaneous
+            // either way, so dirtying during the copy is moot.
+            return (1.0, true);
+        }
+        let ratio = util.clamp(0.0, 1.0) * self.dirty_rate_mbps / link;
+        if ratio <= PRECOPY_CONVERGENCE_LIMIT {
+            (1.0 / (1.0 - ratio), true)
+        } else {
+            (1.0 / (1.0 - PRECOPY_CONVERGENCE_LIMIT), false)
+        }
+    }
+
+    /// Full cost prediction for migrating this domain, given an estimate of
+    /// its recent CPU utilisation (`[0, 1]`). This is the scheduler-facing
+    /// entry point: admission control compares `secs` against the
+    /// reclamation deadline before granting a bandwidth slot.
+    pub fn transfer_estimate(&self, domain: &Domain, util: f64) -> TransferEstimate {
+        let (factor, converges) = self.precopy_overhead(util);
+        let volume = Self::hot_footprint_mb(domain) * factor;
+        let link = self.effective_link_mbps();
+        let secs = if link <= 0.0 {
+            f64::INFINITY
+        } else if link.is_infinite() {
+            self.setup_floor_secs.max(0.0)
+        } else {
+            let downtime = if converges {
+                0.0
+            } else {
+                self.stop_copy_downtime_secs.max(0.0)
+            };
+            self.setup_floor_secs.max(0.0) + volume / link + downtime
+        };
+        TransferEstimate {
+            secs,
+            volume_mb: volume,
+            converges,
+        }
+    }
+
     /// Bytes on the wire for migrating this domain, MiB (hot footprint
-    /// inflated by the dirty-page overhead).
+    /// inflated by the pre-copy overhead, read from the domain's recent
+    /// utilisation history when a dirty-rate model is active).
     pub fn transfer_volume_mb(&self, domain: &Domain) -> f64 {
-        Self::hot_footprint_mb(domain) * self.dirty_page_overhead.max(1.0)
+        self.transfer_estimate(domain, domain.recent_cpu_utilization())
+            .volume_mb
     }
 
     /// The bandwidth one migration stream actually gets, MiB/s: the link
@@ -131,18 +248,12 @@ impl MigrationCostModel {
     }
 
     /// Transfer time for migrating this domain over one migration stream,
-    /// seconds. Infinite when the effective bandwidth is zero (migration
-    /// impossible); zero only for the [`instant`](Self::instant) model.
+    /// seconds, at the domain's recent CPU utilisation. Infinite when the
+    /// effective bandwidth is zero (migration impossible); zero only for
+    /// the [`instant`](Self::instant) model.
     pub fn transfer_secs(&self, domain: &Domain) -> f64 {
-        let volume = self.transfer_volume_mb(domain);
-        let link = self.effective_link_mbps();
-        if link <= 0.0 {
-            return f64::INFINITY;
-        }
-        if link.is_infinite() {
-            return self.setup_floor_secs.max(0.0);
-        }
-        self.setup_floor_secs.max(0.0) + volume / link
+        self.transfer_estimate(domain, domain.recent_cpu_utilization())
+            .secs
     }
 
     /// Number of migrations a server can source or sink concurrently under
@@ -263,6 +374,83 @@ mod tests {
         assert!(MigrationCostModel::instant()
             .reclaim_deadline_secs
             .is_infinite());
+    }
+
+    #[test]
+    fn dirty_rate_scales_overhead_with_utilization() {
+        let m = MigrationCostModel::lan_default()
+            .with_budget_mbps(1250.0)
+            .with_dirty_rate(800.0, 2.0);
+        let mut d = domain(8192.0);
+        // Idle guest: one pre-copy round, factor 1.0 — cheaper than the
+        // constant 1.3 overhead it replaces.
+        let idle = m.transfer_estimate(&d, 0.0);
+        assert!(idle.converges);
+        assert!((idle.volume_mb - 4096.0).abs() < 1e-9);
+        // Half-busy guest: r = 0.5 × 800 / 1250 = 0.32 → factor 1/(1−r).
+        let busy = m.transfer_estimate(&d, 0.5);
+        assert!(busy.converges);
+        assert!((busy.volume_mb - 4096.0 / (1.0 - 0.32)).abs() < 1e-6);
+        assert!(busy.secs > idle.secs);
+        // The domain-level entry points read the recent history.
+        for _ in 0..8 {
+            d.observe_cpu_utilization(0.5);
+        }
+        assert!((m.transfer_secs(&d) - busy.secs).abs() < 1e-9);
+        assert!((m.transfer_volume_mb(&d) - busy.volume_mb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_converging_precopy_charges_stop_and_copy() {
+        // A 625 MiB/s budget throttles the link; a fully busy guest
+        // dirtying 800 MiB/s overruns it (r = 1.28 > limit).
+        let m = MigrationCostModel::lan_default()
+            .with_budget_mbps(625.0)
+            .with_dirty_rate(800.0, 2.0);
+        let d = domain(8192.0);
+        let est = m.transfer_estimate(&d, 1.0);
+        assert!(!est.converges, "r beyond the limit must not converge");
+        // The volume is pinned at the convergence-limit factor (5×) and
+        // the stop-and-copy downtime is added on top.
+        assert!((est.volume_mb - 4096.0 * 5.0).abs() < 1e-9);
+        assert!((est.secs - (0.5 + 4096.0 * 5.0 / 625.0 + 2.0)).abs() < 1e-9);
+        // Just inside the limit: convergent, no downtime charge.
+        let edge = m.transfer_estimate(&d, 0.625);
+        assert!(edge.converges);
+        // The estimate is monotone in utilisation across the convergence
+        // boundary: a busier guest is never cheaper.
+        let mut prev = 0.0;
+        for step in 0..=20 {
+            let secs = m.transfer_estimate(&d, step as f64 / 20.0).secs;
+            assert!(
+                secs >= prev - 1e-9,
+                "cost must not drop as utilisation rises (util {})",
+                step as f64 / 20.0
+            );
+            prev = secs;
+        }
+    }
+
+    #[test]
+    fn zero_dirty_rate_is_bit_identical_to_constant_overhead() {
+        let m = MigrationCostModel::lan_default();
+        let d = domain(8192.0);
+        let est = m.transfer_estimate(&d, 0.9);
+        // Utilisation is ignored without a dirty-rate model.
+        assert_eq!(est.volume_mb, m.transfer_volume_mb(&d));
+        assert_eq!(est.secs, m.transfer_secs(&d));
+        assert_eq!(est.volume_mb, 4096.0 * 1.3);
+    }
+
+    #[test]
+    fn deflate_for_migration_shrinks_the_transfer() {
+        let m = MigrationCostModel::lan_default();
+        let mut d = domain(8192.0);
+        let before = m.transfer_secs(&d);
+        // The squeeze drops the page cache: only the RSS remains hot.
+        d.deflate_for_migration();
+        assert!((MigrationCostModel::hot_footprint_mb(&d) - 2048.0).abs() < 1e-9);
+        assert!(m.transfer_secs(&d) < before);
     }
 
     #[test]

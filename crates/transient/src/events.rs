@@ -26,7 +26,10 @@ pub enum SimEvent {
     /// An in-flight live migration finishes (or hits its abort deadline).
     /// Carries the migration id handed out by the cluster manager when the
     /// transfer started; the manager decides on delivery whether the
-    /// transfer completed or must be aborted.
+    /// transfer completed or must be aborted. Transfers queued behind a
+    /// bandwidth budget need no separate wake event: the transfer
+    /// scheduler folds the queueing delay into the start time, so this
+    /// one event covers the whole booked transfer.
     MigrationComplete {
         /// Identifier of the in-flight migration.
         migration: u64,

@@ -1,0 +1,168 @@
+//! Offline markdown link check over the README and `docs/`: every
+//! relative link must resolve to a file in the repository, and every
+//! `fig*` experiment binary the docs mention must actually exist under
+//! `crates/bench/src/bin/` — so the figure→binary tables cannot silently
+//! rot as binaries are added or renamed. Runs in CI as its own step.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// The markdown files under the link check. `docs/` is globbed so new
+/// documents are covered automatically.
+fn checked_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    let docs = fs::read_dir(root.join("docs")).expect("docs/ directory must exist");
+    for entry in docs {
+        let path = entry.expect("readable docs entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extract the targets of inline markdown links `[text](target)`.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let bytes = markdown.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            if let Some(len) = markdown[start..].find(')') {
+                targets.push(markdown[start..start + len].to_string());
+                i = start + len;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+#[test]
+fn relative_links_resolve() {
+    let mut broken = Vec::new();
+    for file in checked_files() {
+        let content = fs::read_to_string(&file).expect("readable markdown");
+        let dir = file.parent().expect("file has a parent");
+        for target in link_targets(&content) {
+            // External and intra-page links are out of scope for an
+            // offline check.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            // Strip an anchor suffix: `docs/FOO.md#section` → `docs/FOO.md`.
+            let path_part = target.split('#').next().unwrap_or(&target);
+            if path_part.is_empty() {
+                continue;
+            }
+            if !dir.join(path_part).exists() {
+                broken.push(format!("{}: broken link `{}`", file.display(), target));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken markdown links:\n{}",
+        broken.join("\n")
+    );
+}
+
+/// A token is an experiment-binary name when it is `fig` followed by a
+/// digit or an underscore (so prose words like "figure" don't match),
+/// continuing over alphanumerics and underscores.
+fn fig_binary_tokens(markdown: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let bytes = markdown.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = markdown[i..].find("fig") {
+        let start = i + pos;
+        // Must not be the tail of a longer word (e.g. "config").
+        let preceded_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let mut end = start + 3;
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+        let token = &markdown[start..end];
+        let shape_ok = token.len() > 3
+            && (token.as_bytes()[3].is_ascii_digit() || token.as_bytes()[3] == b'_');
+        if preceded_ok && shape_ok {
+            tokens.push(token.to_string());
+        }
+        i = end.max(start + 3);
+    }
+    tokens.sort();
+    tokens.dedup();
+    tokens
+}
+
+#[test]
+fn documented_fig_binaries_exist() {
+    let bin_dir = repo_root().join("crates/bench/src/bin");
+    let mut missing = Vec::new();
+    for file in checked_files() {
+        let content = fs::read_to_string(&file).expect("readable markdown");
+        for token in fig_binary_tokens(&content) {
+            if !bin_dir.join(format!("{token}.rs")).exists() {
+                missing.push(format!(
+                    "{}: mentions `{}` but crates/bench/src/bin/{}.rs does not exist",
+                    file.display(),
+                    token,
+                    token
+                ));
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "documented binaries without sources:\n{}",
+        missing.join("\n")
+    );
+}
+
+#[test]
+fn every_fig_binary_is_documented_in_experiments_md() {
+    let root = repo_root();
+    let experiments =
+        fs::read_to_string(root.join("docs/EXPERIMENTS.md")).expect("docs/EXPERIMENTS.md exists");
+    let documented = fig_binary_tokens(&experiments);
+    let mut undocumented = Vec::new();
+    let bins = fs::read_dir(root.join("crates/bench/src/bin")).expect("bench bin dir");
+    for entry in bins {
+        let path = entry.expect("readable bin entry").path();
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if stem.starts_with("fig") && !documented.iter().any(|d| d == stem) {
+            undocumented.push(stem.to_string());
+        }
+    }
+    undocumented.sort();
+    assert!(
+        undocumented.is_empty(),
+        "experiment binaries missing from docs/EXPERIMENTS.md: {}",
+        undocumented.join(", ")
+    );
+}
+
+#[test]
+fn token_extraction_is_precise() {
+    let text = "run fig20 and fig_bandwidth_sweep; see the figure in config, \
+                prefigured notions, or [table](docs/EXPERIMENTS.md#figures)";
+    assert_eq!(
+        fig_binary_tokens(text),
+        vec!["fig20", "fig_bandwidth_sweep"]
+    );
+    assert_eq!(link_targets(text), vec!["docs/EXPERIMENTS.md#figures"]);
+}

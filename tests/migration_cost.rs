@@ -33,6 +33,7 @@ fn slow_model() -> MigrationCostModel {
         setup_floor_secs: 0.0,
         per_server_bandwidth_mbps: 100.0,
         reclaim_deadline_secs: f64::INFINITY,
+        ..MigrationCostModel::instant()
     }
 }
 
@@ -125,6 +126,7 @@ fn deadline_aborts_surface_as_evictions_in_sim_records() {
         setup_floor_secs: 0.0,
         per_server_bandwidth_mbps: 10.0,
         reclaim_deadline_secs: 5.0,
+        ..MigrationCostModel::instant()
     };
     let result = ClusterSimulation::new(
         cluster_config(servers, capacity),

@@ -1,0 +1,149 @@
+//! Property tests for the transfer scheduler: EDF admission control must
+//! be *sound* — a transfer it books never resolves after its source's
+//! reclamation deadline, under any workload shape, budget or deadline —
+//! and the FIFO policy must remain byte-for-byte the behaviour the
+//! cluster had before the scheduler existed.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vmdeflate::cluster::prelude::*;
+use vmdeflate::core::placement::PartitionScheme;
+use vmdeflate::core::policy::ProportionalDeflation;
+use vmdeflate::core::resources::ResourceVector;
+use vmdeflate::core::vm::{ServerId, VmClass, VmId, VmSpec};
+use vmdeflate::hypervisor::domain::DeflationMechanism;
+use vmdeflate::traces::azure::{AzureTraceConfig, AzureTraceGenerator};
+use vmdeflate::transient::signal::{CapacityProfile, CapacitySchedule, TransientConfig};
+
+fn config(num_servers: usize, capacity: ResourceVector) -> ClusterConfig {
+    ClusterConfig {
+        num_servers,
+        server_capacity: capacity,
+        // First-fit keeps every VM on server 0 until it is full, so the
+        // reclamation below hits all of them at once.
+        placement: PlacementKind::FirstFit,
+        partitions: PartitionScheme::None,
+        mechanism: DeflationMechanism::Transparent,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The scheduler invariant of the EDF policy: **no admitted transfer
+    /// resolves after its source's reclamation deadline.** Random VM
+    /// populations (size and recent CPU utilisation), random budgets and
+    /// deadlines; every `PendingMigration` the reclamation hands back must
+    /// have `event_secs ≤ reclaim time + deadline`, and completing them
+    /// all must produce zero deadline aborts.
+    #[test]
+    fn edf_admitted_transfers_always_beat_their_deadline(
+        vms in prop::collection::vec((2048.0f64..16_384.0, 0.0f64..1.0), 1..8),
+        budget in 100.0f64..1200.0,
+        deadline in 5.0f64..120.0,
+        deflate_first in 0usize..2,
+    ) {
+        let now = 1000.0;
+        // One roomy server per VM plus the shared source server.
+        let capacity = ResourceVector::cpu_mem(48_000.0, 256.0 * 1024.0);
+        let model = MigrationCostModel {
+            link_bandwidth_mbps: budget,
+            dirty_page_overhead: 1.0,
+            setup_floor_secs: 0.5,
+            per_server_bandwidth_mbps: budget,
+            reclaim_deadline_secs: deadline,
+            ..MigrationCostModel::instant()
+        }
+        .with_dirty_rate(0.6 * budget, 1.0);
+        let policy = TransferPolicy::edf().with_deflate_then_migrate(deflate_first == 1);
+        let mut cluster = ClusterManager::new(
+            &config(vms.len() + 1, capacity),
+            ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default())),
+        )
+        .with_migration_cost(model)
+        .with_transfer_policy(policy);
+
+        for (i, &(mem, util)) in vms.iter().enumerate() {
+            let spec = VmSpec::deflatable(
+                VmId(i as u64),
+                VmClass::Interactive,
+                ResourceVector::cpu_mem(4_000.0, mem),
+            )
+            // A floor keeps deflation from absorbing the reclamation, so
+            // the migration rung actually runs.
+            .with_min_allocation(ResourceVector::cpu_mem(3_000.0, mem));
+            prop_assert!(cluster.place_vm(spec).is_placed());
+            for _ in 0..4 {
+                cluster.observe_vm_utilization(VmId(i as u64), util);
+            }
+        }
+
+        let outcome = cluster.reclaim_capacity(ServerId(0), 0.0, now);
+        let stats = cluster.scheduler_stats();
+        prop_assert_eq!(stats.booked, outcome.started.len());
+        for pending in &outcome.started {
+            prop_assert!(
+                pending.event_secs <= now + deadline + 1e-9,
+                "transfer of {} resolves at {} past deadline {}",
+                pending.vm, pending.event_secs, now + deadline
+            );
+            prop_assert!(pending.start_secs >= now);
+        }
+        prop_assert!(cluster.check_invariants());
+        // Deliver every completion: none may abort — EDF only books
+        // transfers that finish in time.
+        for pending in &outcome.started {
+            cluster.complete_migration(pending.id, pending.event_secs);
+        }
+        prop_assert_eq!(cluster.transient_counters().migration_aborts, 0);
+        prop_assert_eq!(
+            cluster.transient_counters().migration_rejections,
+            stats.rejected
+        );
+        prop_assert!(cluster.check_invariants());
+    }
+}
+
+/// FIFO scheduling through the `TransferScheduler` must be *bit-identical*
+/// to the greedy per-migration booking it replaced: the same trace-driven
+/// run, executed twice (and once more through the explicit-policy entry
+/// point), yields equal `SimResult`s including every migration timestamp.
+#[test]
+fn fifo_runs_are_reproducible_and_explicit_policy_matches_default() {
+    let traces = AzureTraceGenerator::generate(&AzureTraceConfig {
+        num_vms: 120,
+        duration_hours: 8.0,
+        seed: 4242,
+        ..Default::default()
+    });
+    let workload = workload_from_azure(&traces, MinAllocationRule::None);
+    let servers = min_cluster_size(&workload, paper_server_capacity());
+    let schedule = CapacitySchedule::generate(&TransientConfig {
+        num_servers: servers,
+        transient_fraction: 1.0,
+        duration_secs: 8.0 * 3600.0,
+        profile: CapacityProfile::spot_market_default(),
+        seed: 11,
+    });
+    let run = |policy: Option<TransferPolicy>| {
+        let mut sim = ClusterSimulation::new(
+            ClusterConfig::paper_default(servers),
+            ReclamationMode::MigrationOnly,
+        )
+        .with_capacity_schedule(schedule.clone())
+        .with_migrate_back(true)
+        .with_migration_cost(MigrationCostModel::lan_default().with_deadline_secs(30.0));
+        if let Some(policy) = policy {
+            sim = sim.with_transfer_policy(policy);
+        }
+        sim.run(&workload)
+    };
+    let default_run = run(None);
+    let explicit_fifo = run(Some(TransferPolicy::fifo()));
+    let again = run(None);
+    assert_eq!(default_run, again, "runs must be deterministic");
+    assert_eq!(
+        default_run, explicit_fifo,
+        "explicit FIFO must equal the default policy bit-for-bit"
+    );
+}
