@@ -1,0 +1,27 @@
+//! The engine-scaling sweep: cluster size (10k → 1M VMs) × engine shard
+//! count under spot-market reclamation, reporting wall-clock, events/s,
+//! peak RSS and cross-shard parity. `DEFLATE_SHARDS=1,2,4,8` overrides
+//! the shard-count list; see docs/PERFORMANCE.md.
+//!
+//! Exits non-zero when any row diverges from the sequential baseline —
+//! CI runs the quick sweep as a smoke step and relies on this to go red
+//! if the sharded engine's bit-identity contract breaks at experiment
+//! scale.
+use deflate_bench::scale_exp::{scale_sweep, table_from_rows};
+use deflate_bench::Scale;
+fn main() {
+    let rows = scale_sweep(Scale::from_env_and_args());
+    table_from_rows(&rows).print();
+    let diverged: Vec<String> = rows
+        .iter()
+        .filter(|r| !r.parity)
+        .map(|r| format!("{} VMs @ {} shards", r.vms, r.shards))
+        .collect();
+    if !diverged.is_empty() {
+        eprintln!(
+            "PARITY FAILURE: sharded engine diverged from the sequential baseline: {}",
+            diverged.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -2,7 +2,7 @@
 //! (reclamation-failure probability), Figure 21 (throughput loss) and
 //! Figure 22 (revenue increase), all as a function of cluster overcommitment.
 
-use crate::report::{pct, Table};
+use crate::report::{pct, RuntimeTally, Table};
 use crate::scale::Scale;
 use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
 use deflate_cluster::metrics::SimResult;
@@ -109,73 +109,122 @@ pub fn run_policy(scale: Scale, policy: PolicyChoice, overcommitment: f64) -> Si
     ClusterSimulation::new(config, policy.mode()).run(&workload)
 }
 
-/// Figure 20: reclamation-failure probability vs overcommitment, for each
-/// policy and the preemption baseline.
-pub fn fig20(scale: Scale) -> Vec<(PolicyChoice, Vec<(f64, f64)>)> {
-    let policies = [
-        PolicyChoice::Proportional,
-        PolicyChoice::Priority,
-        PolicyChoice::Deterministic,
-        PolicyChoice::Preemption,
-    ];
+/// The policies Figure 20 compares, in report order.
+pub const FIG20_POLICIES: [PolicyChoice; 4] = [
+    PolicyChoice::Proportional,
+    PolicyChoice::Priority,
+    PolicyChoice::Deterministic,
+    PolicyChoice::Preemption,
+];
+
+/// The policies Figure 21 compares, in report order.
+pub const FIG21_POLICIES: [PolicyChoice; 4] = [
+    PolicyChoice::Proportional,
+    PolicyChoice::Priority,
+    PolicyChoice::Deterministic,
+    PolicyChoice::PriorityPartitioned,
+];
+
+/// Shared cell sweep behind a figure's data series and its table: one
+/// `run_policy` per (policy, overcommitment) cell, the metric extracted
+/// by `metric`, every full result also handed to `on_result` (the
+/// table's runtime tally; a no-op for the series API). Keeping the
+/// policy lists and per-cell computation in one place means the printed
+/// tables cannot silently drift from the data-series functions.
+fn policy_cells(
+    scale: Scale,
+    policies: &[PolicyChoice],
+    metric: impl Fn(&SimResult) -> f64,
+    mut on_result: impl FnMut(&SimResult),
+) -> Vec<(PolicyChoice, Vec<(f64, f64)>)> {
     policies
         .iter()
         .map(|&policy| {
             let series = OVERCOMMIT_LEVELS
                 .iter()
-                .map(|&oc| (oc, run_policy(scale, policy, oc).failure_probability()))
+                .map(|&oc| {
+                    let result = run_policy(scale, policy, oc);
+                    on_result(&result);
+                    (oc, metric(&result))
+                })
                 .collect();
             (policy, series)
         })
         .collect()
 }
 
-/// Figure 20 as a printable table.
-pub fn fig20_table(scale: Scale) -> Table {
-    let mut table = Table::new(
-        "Figure 20: failure probability vs cluster overcommitment",
-        &["policy", "overcommitment", "failure probability"],
-    );
-    for (policy, series) in fig20(scale) {
-        for (oc, failure) in series {
-            table.row(&[policy.name().to_string(), pct(oc), pct(failure)]);
+/// Render a policy × overcommitment series as a table with the given
+/// title/columns and an engine-runtime footer.
+fn policy_table(
+    title: &str,
+    value_header: &str,
+    cells: Vec<(PolicyChoice, Vec<(f64, f64)>)>,
+    tally: RuntimeTally,
+) -> Table {
+    let mut table = Table::new(title, &["policy", "overcommitment", value_header]);
+    for (policy, series) in cells {
+        for (oc, value) in series {
+            table.row(&[policy.name().to_string(), pct(oc), pct(value)]);
         }
     }
+    table.set_footer(tally.footer());
     table
+}
+
+/// Figure 20: reclamation-failure probability vs overcommitment, for each
+/// policy and the preemption baseline.
+pub fn fig20(scale: Scale) -> Vec<(PolicyChoice, Vec<(f64, f64)>)> {
+    policy_cells(
+        scale,
+        &FIG20_POLICIES,
+        SimResult::failure_probability,
+        |_| {},
+    )
+}
+
+/// Figure 20 as a printable table (with the engine-runtime footer the
+/// data-series API has no place for).
+pub fn fig20_table(scale: Scale) -> Table {
+    let mut tally = RuntimeTally::default();
+    let cells = policy_cells(
+        scale,
+        &FIG20_POLICIES,
+        SimResult::failure_probability,
+        |result| tally.add(result.runtime),
+    );
+    policy_table(
+        "Figure 20: failure probability vs cluster overcommitment",
+        "failure probability",
+        cells,
+        tally,
+    )
 }
 
 /// Figure 21: decrease in throughput of deflatable VMs vs overcommitment.
 pub fn fig21(scale: Scale) -> Vec<(PolicyChoice, Vec<(f64, f64)>)> {
-    let policies = [
-        PolicyChoice::Proportional,
-        PolicyChoice::Priority,
-        PolicyChoice::Deterministic,
-        PolicyChoice::PriorityPartitioned,
-    ];
-    policies
-        .iter()
-        .map(|&policy| {
-            let series = OVERCOMMIT_LEVELS
-                .iter()
-                .map(|&oc| (oc, run_policy(scale, policy, oc).mean_throughput_loss()))
-                .collect();
-            (policy, series)
-        })
-        .collect()
+    policy_cells(
+        scale,
+        &FIG21_POLICIES,
+        SimResult::mean_throughput_loss,
+        |_| {},
+    )
 }
 
-/// Figure 21 as a printable table.
+/// Figure 21 as a printable table (with the engine-runtime footer).
 pub fn fig21_table(scale: Scale) -> Table {
-    let mut table = Table::new(
-        "Figure 21: throughput decrease of deflatable VMs vs cluster overcommitment",
-        &["policy", "overcommitment", "throughput loss"],
+    let mut tally = RuntimeTally::default();
+    let cells = policy_cells(
+        scale,
+        &FIG21_POLICIES,
+        SimResult::mean_throughput_loss,
+        |result| tally.add(result.runtime),
     );
-    for (policy, series) in fig21(scale) {
-        for (oc, loss) in series {
-            table.row(&[policy.name().to_string(), pct(oc), pct(loss)]);
-        }
-    }
-    table
+    policy_table(
+        "Figure 21: throughput decrease of deflatable VMs vs cluster overcommitment",
+        "throughput loss",
+        cells,
+        tally,
+    )
 }
 
 /// The pricing schemes compared by Figure 22.
@@ -215,50 +264,71 @@ impl PricingChoice {
     }
 }
 
+/// The pricing schemes Figure 22 compares, in report order.
+pub const FIG22_PRICINGS: [PricingChoice; 3] = [
+    PricingChoice::Static,
+    PricingChoice::PriorityBased,
+    PricingChoice::AllocationBased,
+];
+
+/// Shared cell sweep behind Figure 22's series and table (same pattern
+/// as [`policy_cells`]). The 0 %-overcommitment run doubles as the
+/// revenue baseline instead of being simulated twice.
+fn fig22_cells(
+    scale: Scale,
+    mut on_result: impl FnMut(&SimResult),
+) -> Vec<(PricingChoice, Vec<(f64, f64)>)> {
+    let rates = RateCard::default();
+    FIG22_PRICINGS
+        .iter()
+        .map(|&choice| {
+            let pricing = choice.pricing();
+            let baseline_result = run_policy(scale, choice.policy(), 0.0);
+            on_result(&baseline_result);
+            let baseline = baseline_result.deflatable_revenue_per_server(&pricing, &rates);
+            let series = OVERCOMMIT_LEVELS
+                .iter()
+                .map(|&oc| {
+                    let revenue = if oc == 0.0 {
+                        baseline
+                    } else {
+                        let result = run_policy(scale, choice.policy(), oc);
+                        on_result(&result);
+                        result.deflatable_revenue_per_server(&pricing, &rates)
+                    };
+                    let increase = if baseline <= 0.0 {
+                        0.0
+                    } else {
+                        revenue / baseline - 1.0
+                    };
+                    (oc, increase)
+                })
+                .collect();
+            (choice, series)
+        })
+        .collect()
+}
+
 /// Figure 22: increase in per-server revenue from deflatable VMs vs
 /// overcommitment, relative to the 0 %-overcommitment baseline of the same
 /// pricing scheme.
 pub fn fig22(scale: Scale) -> Vec<(PricingChoice, Vec<(f64, f64)>)> {
-    let rates = RateCard::default();
-    [
-        PricingChoice::Static,
-        PricingChoice::PriorityBased,
-        PricingChoice::AllocationBased,
-    ]
-    .iter()
-    .map(|&choice| {
-        let pricing = choice.pricing();
-        let baseline =
-            run_policy(scale, choice.policy(), 0.0).deflatable_revenue_per_server(&pricing, &rates);
-        let series = OVERCOMMIT_LEVELS
-            .iter()
-            .map(|&oc| {
-                let result = run_policy(scale, choice.policy(), oc);
-                let revenue = result.deflatable_revenue_per_server(&pricing, &rates);
-                let increase = if baseline <= 0.0 {
-                    0.0
-                } else {
-                    revenue / baseline - 1.0
-                };
-                (oc, increase)
-            })
-            .collect();
-        (choice, series)
-    })
-    .collect()
+    fig22_cells(scale, |_| {})
 }
 
-/// Figure 22 as a printable table.
+/// Figure 22 as a printable table (with the engine-runtime footer).
 pub fn fig22_table(scale: Scale) -> Table {
     let mut table = Table::new(
         "Figure 22: increase in cloud revenue from deflatable VMs",
         &["pricing", "overcommitment", "revenue increase"],
     );
-    for (choice, series) in fig22(scale) {
+    let mut tally = RuntimeTally::default();
+    for (choice, series) in fig22_cells(scale, |result| tally.add(result.runtime)) {
         for (oc, increase) in series {
             table.row(&[choice.name().to_string(), pct(oc), pct(increase)]);
         }
     }
+    table.set_footer(tally.footer());
     table
 }
 

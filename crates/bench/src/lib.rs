@@ -16,6 +16,7 @@
 //! | [`web`] | 16, 17, 18, 19 |
 //! | [`cluster_exp`] | 20, 21, 22 |
 //! | [`transient_exp`] | transient-capacity reclamation comparison + migration-bandwidth sweep + transfer-scheduler sweep |
+//! | [`scale_exp`] | engine-scaling sweep: cluster size × shard count (`fig_scale`) |
 //! | [`ablation`] | placement / partition / mechanism ablations |
 //!
 //! Beyond the paper's figures, the transient experiments charge every live
@@ -39,6 +40,7 @@ pub mod cluster_exp;
 pub mod feasibility;
 pub mod report;
 pub mod scale;
+pub mod scale_exp;
 pub mod transient_exp;
 pub mod web;
 
@@ -46,7 +48,10 @@ pub use report::Table;
 pub use scale::Scale;
 
 /// Print every figure's table at the given scale (used by the `all_figures`
-/// binary).
+/// binary). The engine-scaling sweep (`fig_scale`) is deliberately not
+/// included: it measures the simulator rather than reproducing a figure,
+/// and its full-scale million-VM rows would dominate the sequence — run it
+/// on its own.
 pub fn print_all(scale: Scale) {
     apps_exp::fig03().print();
     feasibility::fig05(scale).print();

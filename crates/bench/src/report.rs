@@ -5,12 +5,18 @@
 //! series of the corresponding figure in the paper. `EXPERIMENTS.md` records
 //! the paper-reported values next to these measured ones.
 
+use deflate_cluster::metrics::RunStats;
+
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Free-text line printed after the rows (engine runtime summaries).
+    /// Not part of [`rows`](Self::rows), so regression tests pinning row
+    /// contents are unaffected by wall-clock noise.
+    footer: Option<String>,
 }
 
 impl Table {
@@ -20,7 +26,22 @@ impl Table {
             title: title.to_string(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            footer: None,
         }
+    }
+
+    /// Set the footer line printed after the rows. Experiment tables use
+    /// this for the engine-runtime summary (wall-clock, events processed,
+    /// events/s), which must stay out of the pinned data rows because
+    /// wall-clock time is not deterministic.
+    pub fn set_footer(&mut self, footer: String) -> &mut Self {
+        self.footer = Some(footer);
+        self
+    }
+
+    /// The footer line, if one was set.
+    pub fn footer(&self) -> Option<&str> {
+        self.footer.as_deref()
     }
 
     /// Append a row (must have the same arity as the headers).
@@ -76,12 +97,56 @@ impl Table {
             out.push_str(&fmt_row(row, &widths));
             out.push('\n');
         }
+        if let Some(footer) = &self.footer {
+            out.push_str(footer);
+            out.push('\n');
+        }
         out
     }
 
     /// Print the table to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
+    }
+}
+
+/// Aggregate engine-runtime accounting across the simulation runs behind
+/// one experiment table: every `fig_*` table that replays workloads
+/// through `ClusterSimulation` tallies each run's [`RunStats`] and prints
+/// the total as the table footer — the per-run wall clock the experiment
+/// guide used to have to hand-wave.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeTally {
+    /// Simulation runs tallied.
+    pub runs: usize,
+    /// Total wall-clock seconds across those runs.
+    pub wall_clock_secs: f64,
+    /// Total events the engine delivered across those runs.
+    pub events: u64,
+}
+
+impl RuntimeTally {
+    /// Fold one run's stats into the tally.
+    pub fn add(&mut self, stats: RunStats) {
+        self.runs += 1;
+        self.wall_clock_secs += stats.wall_clock_secs;
+        self.events += stats.events_processed;
+    }
+
+    /// Render the footer line: runs, events, wall-clock, throughput.
+    pub fn footer(&self) -> String {
+        let rate = if self.wall_clock_secs > 0.0 {
+            self.events as f64 / self.wall_clock_secs
+        } else {
+            0.0
+        };
+        format!(
+            "engine: {} runs, {} events, {} wall-clock, {:.0} events/s",
+            self.runs,
+            self.events,
+            secs(self.wall_clock_secs),
+            rate
+        )
     }
 }
 
@@ -134,5 +199,29 @@ mod tests {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(secs(0.25), "250.0 ms");
         assert_eq!(secs(2.5), "2.50 s");
+    }
+
+    #[test]
+    fn footer_renders_but_stays_out_of_rows() {
+        let mut t = Table::new("F", &["a"]);
+        t.row(&["1".to_string()]);
+        let mut tally = RuntimeTally::default();
+        tally.add(RunStats {
+            wall_clock_secs: 2.0,
+            events_processed: 100,
+            shards: 1,
+        });
+        tally.add(RunStats {
+            wall_clock_secs: 2.0,
+            events_processed: 100,
+            shards: 1,
+        });
+        t.set_footer(tally.footer());
+        assert_eq!(t.rows().len(), 1, "footer must not become a data row");
+        assert_eq!(
+            t.footer(),
+            Some("engine: 2 runs, 200 events, 4.00 s wall-clock, 50 events/s")
+        );
+        assert!(t.render().ends_with("50 events/s\n"));
     }
 }

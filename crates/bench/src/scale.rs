@@ -91,6 +91,36 @@ impl Scale {
         }
     }
 
+    /// Cluster sizes (VM counts) the `fig_scale` engine-scaling sweep
+    /// replays. Quick mode still includes a 100,000-VM row — the point of
+    /// the sweep is scale, and CI exercises exactly this list; full mode
+    /// adds the million-VM row the sharded engine exists for.
+    pub fn scale_sweep_vms(&self) -> &'static [usize] {
+        match self {
+            Scale::Quick => &[10_000, 100_000],
+            Scale::Full => &[10_000, 100_000, 1_000_000],
+        }
+    }
+
+    /// Engine shard counts the `fig_scale` sweep runs each cluster size
+    /// under (override with the `DEFLATE_SHARDS` environment variable).
+    /// Quick mode stops at 2 — enough to exercise the parallel path and
+    /// its parity column on every CI push; full mode sweeps to 8.
+    pub fn scale_sweep_shards(&self) -> &'static [usize] {
+        match self {
+            Scale::Quick => &[1, 2],
+            Scale::Full => &[1, 2, 4, 8],
+        }
+    }
+
+    /// Duration of the `fig_scale` trace, hours. Deliberately shorter than
+    /// [`cluster_trace_hours`](Self::cluster_trace_hours): per-VM
+    /// utilisation traces are sampled every five minutes, so at a million
+    /// VMs the trace length is what bounds resident memory.
+    pub fn scale_trace_hours(&self) -> f64 {
+        4.0
+    }
+
     /// The deterministic seed every experiment derives its RNG streams from.
     pub fn seed(&self) -> u64 {
         0xDEF1A7E

@@ -1,0 +1,315 @@
+//! The engine-scaling experiment (`fig_scale`): cluster size × shard
+//! count under spot-market reclamation.
+//!
+//! Every other experiment here asks what a *policy* does to the workload;
+//! this one asks what the workload does to the **simulator** — the
+//! question behind the roadmap's "million-VM traces, as fast as the
+//! hardware allows". For each cluster size (10k → 1M VMs, synthetic
+//! spot-market reclamation across every server) the sweep replays the
+//! identical run under each engine shard count and reports wall-clock
+//! time, delivered events, engine throughput (events/s), the process's
+//! peak RSS, and a **parity** column checking the sharded run against the
+//! 1-shard baseline of the same size — the determinism contract of
+//! `docs/PERFORMANCE.md`, spot-checked at experiment scale on every row.
+//!
+//! The run deliberately measures the engine, not placement finesse:
+//! first-fit placement (O(cluster) per arrival like the other policies,
+//! but with an early exit), proportional deflation with the default
+//! migration cost model, migrate-back on restitution, utilisation ticks
+//! every 15 simulated minutes.
+//!
+//! Peak RSS is read from `/proc/self/status` (`VmHWM`) and is a
+//! *process-wide high-water mark*: it can only grow across rows, so the
+//! number is attributable to a row only the first time it increases.
+//! On non-Linux hosts the column prints `n/a`.
+
+use crate::report::{secs, RuntimeTally, Table};
+use crate::scale::Scale;
+use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
+use deflate_cluster::metrics::SimResult;
+use deflate_cluster::sim::ClusterSimulation;
+use deflate_cluster::spec::{
+    paper_server_capacity, servers_for_transient_overcommitment, workload_from_azure,
+    MinAllocationRule, WorkloadVm,
+};
+use deflate_core::placement::PartitionScheme;
+use deflate_core::policy::ProportionalDeflation;
+use deflate_core::shard::ShardConfig;
+use deflate_hypervisor::domain::DeflationMechanism;
+use deflate_hypervisor::migration::MigrationCostModel;
+use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
+use deflate_transient::signal::{CapacityProfile, CapacitySchedule, TransientConfig};
+use std::sync::Arc;
+
+/// One measured row of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// VMs in the replayed trace.
+    pub vms: usize,
+    /// Servers the cluster was sized to.
+    pub servers: usize,
+    /// Engine shard count the run used.
+    pub shards: usize,
+    /// Events the engine delivered (deterministic per size).
+    pub events: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_clock_secs: f64,
+    /// Engine throughput, events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Process peak RSS after the run, MiB (`None` off Linux).
+    pub peak_rss_mib: Option<f64>,
+    /// Whether this run's deterministic outputs matched the 1-shard
+    /// baseline of the same cluster size.
+    pub parity: bool,
+}
+
+/// The shard counts the sweep runs each size under: the scale preset's
+/// list, unless the `DEFLATE_SHARDS` environment variable overrides it
+/// with a comma-separated list (e.g. `DEFLATE_SHARDS=1,2,4,8`).
+pub fn sweep_shard_counts(scale: Scale) -> Vec<usize> {
+    if let Ok(value) = std::env::var("DEFLATE_SHARDS") {
+        let parsed: Vec<usize> = value
+            .split(',')
+            .filter_map(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    scale.scale_sweep_shards().to_vec()
+}
+
+/// The `fig_scale` workload at one cluster size: a synthetic Azure-derived
+/// trace over the (deliberately short) scaling-trace horizon.
+pub fn scale_workload(scale: Scale, num_vms: usize) -> Vec<WorkloadVm> {
+    let traces = AzureTraceGenerator::generate(&AzureTraceConfig {
+        num_vms,
+        duration_hours: scale.scale_trace_hours(),
+        seed: scale.seed(),
+        ..Default::default()
+    });
+    workload_from_azure(&traces, MinAllocationRule::None)
+}
+
+/// Run one (size, shard-count) cell: deflation mode, first-fit placement,
+/// spot-market reclamation on every server, default migration cost,
+/// migrate-back, 15-minute utilisation ticks. Returns the full result so
+/// callers can both report throughput and check cross-shard parity.
+pub fn run_scale_cell(
+    workload: &[WorkloadVm],
+    scale: Scale,
+    shards: ShardConfig,
+) -> (SimResult, usize) {
+    let capacity = paper_server_capacity();
+    let profile = CapacityProfile::spot_market_default();
+    let servers =
+        servers_for_transient_overcommitment(workload, capacity, 0.0, profile.mean_availability());
+    let schedule = CapacitySchedule::generate(&TransientConfig {
+        num_servers: servers,
+        transient_fraction: 1.0,
+        duration_secs: scale.scale_trace_hours() * 3600.0,
+        profile,
+        seed: scale.seed(),
+    });
+    let config = ClusterConfig {
+        num_servers: servers,
+        server_capacity: capacity,
+        placement: PlacementKind::FirstFit,
+        partitions: PartitionScheme::None,
+        mechanism: DeflationMechanism::Transparent,
+    };
+    let result = ClusterSimulation::new(
+        config,
+        ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default())),
+    )
+    .with_capacity_schedule(schedule)
+    .with_migrate_back(true)
+    .with_migration_cost(
+        MigrationCostModel::lan_default()
+            .with_budget_mbps(1250.0)
+            .with_deadline_secs(30.0),
+    )
+    .with_utilization_ticks(900.0)
+    .with_shards(shards)
+    .run(workload);
+    (result, servers)
+}
+
+/// The deterministic outputs two runs of the same size must agree on.
+/// `SimResult`'s own equality covers the full per-VM record vectors too;
+/// the sweep compares through this digest instead so the 1-shard baseline
+/// of a million-VM size does not have to stay resident while the other
+/// shard counts run. The full bit-identity (records included) is pinned
+/// at quick scale by `tests/shard_parity.rs`.
+fn digest(result: &SimResult) -> impl PartialEq + std::fmt::Debug {
+    (
+        result.counters,
+        result.transient,
+        result.scheduler,
+        result.runtime.events_processed,
+        result.migrations.len(),
+        result.failure_probability().to_bits(),
+        result.mean_throughput_loss().to_bits(),
+        result
+            .utilization
+            .iter()
+            .map(|&(t, u)| (t.to_bits(), u.to_bits()))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Run the full sweep: every cluster size of the scale preset × every
+/// shard count of [`sweep_shard_counts`].
+pub fn scale_sweep(scale: Scale) -> Vec<ScaleRow> {
+    let shard_counts = sweep_shard_counts(scale);
+    let mut rows = Vec::new();
+    for &vms in scale.scale_sweep_vms() {
+        let workload = scale_workload(scale, vms);
+        // Parity baseline: the *sequential* engine's digest. Both presets
+        // sweep shards = 1 first, so this is normally the first cell; a
+        // `DEFLATE_SHARDS` override without a 1 pays one extra unreported
+        // sequential run per size — the column promises a comparison
+        // against the sequential engine, not against whichever count
+        // happened to run first.
+        let mut baseline_digest = if shard_counts.first() == Some(&1) {
+            None
+        } else {
+            let (baseline, _) = run_scale_cell(&workload, scale, ShardConfig::sequential());
+            Some(digest(&baseline))
+        };
+        for &shards in &shard_counts {
+            let (result, servers) =
+                run_scale_cell(&workload, scale, ShardConfig::with_shards(shards));
+            let this_digest = digest(&result);
+            let parity = match &baseline_digest {
+                None => {
+                    // First cell of the preset sweep: shards == 1 itself.
+                    baseline_digest = Some(this_digest);
+                    true
+                }
+                Some(base) => *base == this_digest,
+            };
+            rows.push(ScaleRow {
+                vms,
+                servers,
+                shards,
+                events: result.runtime.events_processed,
+                wall_clock_secs: result.runtime.wall_clock_secs,
+                events_per_sec: result.runtime.events_per_sec(),
+                peak_rss_mib: peak_rss_mib(),
+                parity,
+            });
+        }
+    }
+    rows
+}
+
+/// The sweep as a printable table.
+pub fn scale_sweep_table(scale: Scale) -> Table {
+    table_from_rows(&scale_sweep(scale))
+}
+
+/// Render already-measured sweep rows as the `fig_scale` table. Split
+/// from [`scale_sweep_table`] so the binary can inspect the rows'
+/// parity flags and fail (non-zero exit) on divergence instead of only
+/// printing `DIVERGED` — CI runs the quick sweep as a smoke step and
+/// must go red when the sharded engine stops matching the sequential
+/// baseline at experiment scale.
+pub fn table_from_rows(rows: &[ScaleRow]) -> Table {
+    let mut table = Table::new(
+        "Engine scaling: cluster size x shard count under spot-market reclamation",
+        &[
+            "VMs",
+            "servers",
+            "shards",
+            "events",
+            "wall-clock",
+            "events/s",
+            "peak RSS MiB",
+            "parity",
+        ],
+    );
+    let mut tally = RuntimeTally::default();
+    for row in rows {
+        tally.add(deflate_cluster::metrics::RunStats {
+            wall_clock_secs: row.wall_clock_secs,
+            events_processed: row.events,
+            shards: row.shards,
+        });
+        table.row(&[
+            row.vms.to_string(),
+            row.servers.to_string(),
+            row.shards.to_string(),
+            row.events.to_string(),
+            secs(row.wall_clock_secs),
+            format!("{:.0}", row.events_per_sec),
+            row.peak_rss_mib
+                .map_or_else(|| "n/a".to_string(), |mib| format!("{mib:.0}")),
+            if row.parity { "ok" } else { "DIVERGED" }.to_string(),
+        ]);
+    }
+    table.set_footer(tally.footer());
+    table
+}
+
+/// The process's peak resident-set size in MiB, from `/proc/self/status`'s
+/// `VmHWM` line. `None` when the file (non-Linux) or the line is missing.
+pub fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature sweep (not the CI smoke — that runs the real quick
+    /// preset as its own workflow step) checking the row structure and the
+    /// cross-shard parity digest end to end.
+    #[test]
+    fn mini_sweep_rows_are_consistent_and_parity_holds() {
+        let workload = scale_workload(Scale::Quick, 400);
+        let (sequential, servers) =
+            run_scale_cell(&workload, Scale::Quick, ShardConfig::sequential());
+        let (sharded, servers_2) =
+            run_scale_cell(&workload, Scale::Quick, ShardConfig::with_shards(2));
+        assert_eq!(servers, servers_2);
+        assert!(servers > 0);
+        assert!(sequential.runtime.events_processed > 2 * 400);
+        assert_eq!(sequential, sharded, "2-shard run diverged");
+        assert_eq!(
+            sequential.transient.reclaim_events,
+            sharded.transient.reclaim_events
+        );
+        assert!(
+            sequential.transient.reclaim_events > 0,
+            "spot-market must reclaim"
+        );
+    }
+
+    #[test]
+    fn shard_count_override_parses() {
+        // No env manipulation (tests run in parallel): exercise the preset
+        // path only.
+        let counts = Scale::Quick.scale_sweep_shards();
+        assert_eq!(counts, &[1, 2]);
+        assert_eq!(Scale::Full.scale_sweep_shards(), &[1, 2, 4, 8]);
+        assert!(Scale::Quick.scale_sweep_vms().contains(&100_000));
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        // On the Linux CI hosts this must produce a positive number; on
+        // other platforms None is acceptable.
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_mib().expect("VmHWM available on Linux");
+            assert!(rss > 1.0);
+        }
+    }
+}

@@ -18,7 +18,7 @@
 //! [`bandwidth_sweep_table`] experiment sweeps the per-server budget to
 //! show the effect directly.
 
-use crate::report::{pct, Table};
+use crate::report::{pct, RuntimeTally, Table};
 use crate::scale::Scale;
 use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
 use deflate_cluster::metrics::SimResult;
@@ -31,6 +31,7 @@ use deflate_core::placement::PartitionScheme;
 use deflate_core::policy::ProportionalDeflation;
 use deflate_core::policy::TransferPolicy;
 use deflate_core::pricing::{PricingPolicy, RateCard};
+use deflate_core::shard::ShardConfig;
 use deflate_hypervisor::domain::DeflationMechanism;
 use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
@@ -157,6 +158,33 @@ pub fn run_transient_scheduled(
     cost: MigrationCostModel,
     policy: TransferPolicy,
 ) -> SimResult {
+    run_transient_engine(
+        workload,
+        scale,
+        mode,
+        profile,
+        cost,
+        policy,
+        ShardConfig::sequential(),
+    )
+}
+
+/// [`run_transient_scheduled`] with an explicit engine-shard count — the
+/// fully-parameterised entry point, used by the shard-parity tests and the
+/// `fig_scale` sweep. Sharding is a performance knob only: any
+/// [`ShardConfig`] produces a `SimResult` equal to the sequential engine's
+/// (`tests/shard_parity.rs` pins this on the `fig_transient` and
+/// `fig_scheduler` configurations).
+#[allow(clippy::too_many_arguments)]
+pub fn run_transient_engine(
+    workload: &[deflate_cluster::spec::WorkloadVm],
+    scale: Scale,
+    mode: TransientMode,
+    profile: CapacityProfile,
+    cost: MigrationCostModel,
+    policy: TransferPolicy,
+    shards: ShardConfig,
+) -> SimResult {
     let capacity = paper_server_capacity();
     let servers =
         servers_for_transient_overcommitment(workload, capacity, 0.0, profile.mean_availability());
@@ -179,6 +207,7 @@ pub fn run_transient_scheduled(
         .with_migrate_back(true)
         .with_migration_cost(cost)
         .with_transfer_policy(policy)
+        .with_shards(shards)
         .run(workload)
 }
 
@@ -204,9 +233,11 @@ pub fn fig_transient_table(scale: Scale) -> Table {
     let rates = RateCard::default();
     let pricing = PricingPolicy::static_default();
     let workload = transient_workload(scale);
+    let mut tally = RuntimeTally::default();
     for profile in profiles() {
         for mode in TransientMode::ALL {
             let result = run_transient_on(&workload, scale, mode, profile);
+            tally.add(result.runtime);
             table.row(&[
                 profile.name().to_string(),
                 mode.name().to_string(),
@@ -224,6 +255,7 @@ pub fn fig_transient_table(scale: Scale) -> Table {
             ]);
         }
     }
+    table.set_footer(tally.footer());
     table
 }
 
@@ -252,6 +284,7 @@ pub fn bandwidth_sweep_table(scale: Scale) -> Table {
     );
     let workload = transient_workload(scale);
     let profile = CapacityProfile::spot_market_default();
+    let mut tally = RuntimeTally::default();
     for budget in BANDWIDTH_SWEEP_MBPS {
         for mode in [TransientMode::Deflation, TransientMode::MigrationOnly] {
             let cost = if budget.is_infinite() {
@@ -260,6 +293,7 @@ pub fn bandwidth_sweep_table(scale: Scale) -> Table {
                 default_migration_cost().with_budget_mbps(budget)
             };
             let result = run_transient_costed(&workload, scale, mode, profile, cost);
+            tally.add(result.runtime);
             table.row(&[
                 if budget.is_infinite() {
                     "unlimited (free)".to_string()
@@ -275,6 +309,7 @@ pub fn bandwidth_sweep_table(scale: Scale) -> Table {
             ]);
         }
     }
+    table.set_footer(tally.footer());
     table
 }
 
@@ -389,6 +424,7 @@ pub fn scheduler_sweep_table(scale: Scale) -> Table {
     );
     let workload = transient_workload(scale);
     let profile = CapacityProfile::spot_market_default();
+    let mut tally = RuntimeTally::default();
     for budget in SCHEDULER_SWEEP_MBPS {
         for mode in [TransientMode::Deflation, TransientMode::MigrationOnly] {
             for variant in SchedulerVariant::ALL {
@@ -403,6 +439,7 @@ pub fn scheduler_sweep_table(scale: Scale) -> Table {
                     variant.cost(budget),
                     variant.policy(),
                 );
+                tally.add(result.runtime);
                 table.row(&[
                     format!("{budget:.0}"),
                     mode.name().to_string(),
@@ -417,6 +454,7 @@ pub fn scheduler_sweep_table(scale: Scale) -> Table {
             }
         }
     }
+    table.set_footer(tally.footer());
     table
 }
 

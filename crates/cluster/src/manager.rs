@@ -57,6 +57,7 @@ use deflate_core::placement::{
 };
 use deflate_core::policy::{DeflationPolicy, TransferPolicy};
 use deflate_core::resources::{ResourceKind, ResourceVector};
+use deflate_core::shard::ShardConfig;
 use deflate_core::vm::{ServerId, VmId, VmSpec};
 use deflate_hypervisor::controller::{AdmissionOutcome, LocalController};
 use deflate_hypervisor::domain::DeflationMechanism;
@@ -629,6 +630,102 @@ impl ClusterManager {
                 domain.observe_cpu_utilization(sample);
             }
         }
+    }
+
+    /// [`observe_vm_utilization`](Self::observe_vm_utilization) for a whole
+    /// batch of samples, partitioned by shard: samples are grouped by the
+    /// shard owning each VM's server, and each shard's group is applied by
+    /// its own `std::thread` worker holding a disjoint `&mut` slice of the
+    /// per-server controllers. Bit-identical to applying the batch
+    /// sequentially — every domain is owned by exactly one shard, and a VM
+    /// appears at most once per batch, so no ordering between shards is
+    /// observable. Sequential configurations (`shards == 1`) spawn no
+    /// thread at all.
+    pub fn observe_vm_utilizations(&mut self, samples: &[(VmId, f64)], shards: ShardConfig) {
+        if !shards.is_parallel() {
+            for &(vm, sample) in samples {
+                self.observe_vm_utilization(vm, sample);
+            }
+            return;
+        }
+        let num_servers = self.controllers.len();
+        let mut buckets: Vec<Vec<(usize, VmId, f64)>> = vec![Vec::new(); shards.count()];
+        for &(vm, sample) in samples {
+            if let Some(&idx) = self.vm_location.get(&vm) {
+                buckets[shards.shard_of(idx, num_servers)].push((idx, vm, sample));
+            }
+        }
+        let spans = shards.spans(num_servers);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [LocalController] = &mut self.controllers;
+            let mut offset = 0;
+            for (span, bucket) in spans.into_iter().zip(buckets) {
+                let (shard_controllers, tail) = rest.split_at_mut(span.end - offset);
+                rest = tail;
+                let base = offset;
+                offset = span.end;
+                scope.spawn(move || {
+                    for (idx, vm, sample) in bucket {
+                        if let Some(domain) =
+                            shard_controllers[idx - base].server_mut().domain_mut(vm)
+                        {
+                            domain.observe_cpu_utilization(sample);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Cluster-wide `(effective CPU used, CPU capacity)` totals — the
+    /// quantities behind each `UtilizationTick` sample. Per-server values
+    /// are evaluated shard-parallel (each worker reads a disjoint span of
+    /// servers), then folded **sequentially in server order**, so the
+    /// floating-point sum is bit-identical for every shard count — f64
+    /// addition is not associative, and a per-shard partial-sum tree would
+    /// silently break the engine's determinism contract.
+    pub fn cpu_usage_snapshot(&self, shards: ShardConfig) -> (f64, f64) {
+        let per_server: Vec<(f64, f64)> = if shards.is_parallel() {
+            let spans = shards.spans(self.controllers.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = spans
+                    .into_iter()
+                    .map(|span| {
+                        let controllers = &self.controllers[span];
+                        scope.spawn(move || {
+                            controllers
+                                .iter()
+                                .map(|c| {
+                                    let server = c.server();
+                                    (
+                                        server.effective_used()[ResourceKind::Cpu],
+                                        server.capacity[ResourceKind::Cpu],
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard snapshot worker panicked"))
+                    .collect()
+            })
+        } else {
+            self.controllers
+                .iter()
+                .map(|c| {
+                    let server = c.server();
+                    (
+                        server.effective_used()[ResourceKind::Cpu],
+                        server.capacity[ResourceKind::Cpu],
+                    )
+                })
+                .collect()
+        };
+        per_server
+            .into_iter()
+            .fold((0.0, 0.0), |(used, cap), (u, c)| (used + u, cap + c))
     }
 
     /// Place a new VM, reclaiming resources if necessary.

@@ -171,8 +171,44 @@ pub struct MigrationEvent {
     pub back: bool,
 }
 
+/// Engine accounting for one simulation run: how long the run took and
+/// how many events it processed. `events_processed` is deterministic —
+/// part of the engine's bit-identity contract across shard counts —
+/// while `wall_clock_secs` is a measurement and is therefore **excluded
+/// from [`SimResult`]'s equality** (two otherwise identical runs never
+/// take exactly the same wall-clock time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Wall-clock duration of `ClusterSimulation::run`, seconds.
+    pub wall_clock_secs: f64,
+    /// Total events the engine delivered (arrivals, departures, capacity
+    /// changes, migration completions, utilisation ticks).
+    pub events_processed: u64,
+    /// Shard count the engine ran with (1 = sequential).
+    pub shards: usize,
+}
+
+impl RunStats {
+    /// Engine throughput: events delivered per wall-clock second (0 when
+    /// the run was too fast to time).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_clock_secs <= 0.0 {
+            0.0
+        } else {
+            self.events_processed as f64 / self.wall_clock_secs
+        }
+    }
+}
+
 /// Aggregate result of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the *simulation output* — records, counters,
+/// migrations, utilisation samples and the deterministic event count —
+/// and deliberately ignores the wall-clock time and shard count in
+/// [`runtime`](Self::runtime): a sharded run is required to be
+/// `==` the sequential run (the engine's bit-identity contract, pinned
+/// by `tests/shard_parity.rs`) even though it was timed differently.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
     /// Per-VM records, in arrival order.
     pub records: Vec<VmRecord>,
@@ -196,6 +232,40 @@ pub struct SimResult {
     pub overcommitment: f64,
     /// Human-readable name of the reclamation mode / policy that ran.
     pub policy_name: String,
+    /// Engine accounting: wall-clock duration, events processed, shards.
+    pub runtime: RunStats,
+}
+
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: adding a field to SimResult fails to
+        // compile here until someone decides whether it joins the
+        // bit-identity contract — it cannot silently fall out of it.
+        let SimResult {
+            records,
+            counters,
+            transient,
+            scheduler,
+            migrations,
+            utilization,
+            num_servers,
+            overcommitment,
+            policy_name,
+            runtime,
+        } = self;
+        *records == other.records
+            && *counters == other.counters
+            && *transient == other.transient
+            && *scheduler == other.scheduler
+            && *migrations == other.migrations
+            && *utilization == other.utilization
+            && *num_servers == other.num_servers
+            && *overcommitment == other.overcommitment
+            && *policy_name == other.policy_name
+            // Deterministic part of the runtime stats only: the event
+            // count must match, the wall clock and shard count must not.
+            && runtime.events_processed == other.runtime.events_processed
+    }
 }
 
 impl SimResult {
@@ -451,6 +521,7 @@ mod tests {
             num_servers: 2,
             overcommitment: 0.5,
             policy_name: "test".into(),
+            runtime: RunStats::default(),
         };
         assert_eq!(result.deflatable_arrivals(), 3);
         assert!((result.failure_probability() - 1.0 / 3.0).abs() < 1e-9);
@@ -479,6 +550,7 @@ mod tests {
             num_servers: 0,
             overcommitment: 0.0,
             policy_name: "empty".into(),
+            runtime: RunStats::default(),
         };
         assert_eq!(result.failure_probability(), 0.0);
         assert_eq!(result.mean_throughput_loss(), 0.0);
@@ -488,5 +560,43 @@ mod tests {
                 .deflatable_revenue_per_server(&PricingPolicy::PriorityBased, &RateCard::default()),
             0.0
         );
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_but_not_event_count() {
+        let base = SimResult {
+            records: vec![],
+            counters: AdmissionCounters::default(),
+            transient: TransientCounters::default(),
+            scheduler: SchedulerStats::default(),
+            migrations: vec![],
+            utilization: vec![],
+            num_servers: 1,
+            overcommitment: 0.0,
+            policy_name: "x".into(),
+            runtime: RunStats {
+                wall_clock_secs: 1.0,
+                events_processed: 42,
+                shards: 1,
+            },
+        };
+        let mut timed_differently = base.clone();
+        timed_differently.runtime.wall_clock_secs = 9.0;
+        timed_differently.runtime.shards = 4;
+        assert_eq!(base, timed_differently);
+        let mut different_events = base.clone();
+        different_events.runtime.events_processed = 43;
+        assert_ne!(base, different_events);
+    }
+
+    #[test]
+    fn run_stats_throughput() {
+        let stats = RunStats {
+            wall_clock_secs: 2.0,
+            events_processed: 100,
+            shards: 2,
+        };
+        assert!((stats.events_per_sec() - 50.0).abs() < 1e-9);
+        assert_eq!(RunStats::default().events_per_sec(), 0.0);
     }
 }

@@ -9,7 +9,8 @@
 //! (Figure 21) and revenue (Figure 22).
 //!
 //! The simulation runs on the generalized event engine of
-//! `deflate-transient`: a deterministic binary-heap [`EventQueue`] over typed
+//! `deflate-transient`: a deterministic binary-heap event queue
+//! ([`ShardedEventQueue`] — one heap per engine shard) over typed
 //! [`SimEvent`]s. Besides VM arrivals and departures it understands
 //! provider-side **capacity events** — attach a [`CapacitySchedule`] with
 //! [`ClusterSimulation::with_capacity_schedule`] and every reclamation is
@@ -23,15 +24,31 @@
 //! at the transfer's end (or at the source's reclamation deadline, in which
 //! case the VM is aborted and evicted) and feeds it back through
 //! [`ClusterManager::complete_migration`].
+//!
+//! # Sharded engine
+//!
+//! For large traces the simulator can run its engine **sharded**
+//! ([`ClusterSimulation::with_shards`], default 1 = sequential): the event
+//! queue splits into per-shard heaps built in parallel
+//! ([`ShardedEventQueue`]), and the embarrassingly-parallel per-server
+//! passes — per-VM record initialisation, trace-utilisation sampling ahead
+//! of capacity events, and the per-server sums behind each
+//! `UtilizationTick` — fan out to one `std::thread` worker per shard.
+//! Event *handling* (placement, reclamation ladders, transfer booking)
+//! stays serialized at the coordinator in the queue's global total order,
+//! which is what makes a sharded run **bit-identical** to the sequential
+//! one (pinned by `tests/shard_parity.rs`, documented in
+//! `docs/PERFORMANCE.md`).
 
 use crate::manager::{ClusterConfig, ClusterManager, PlacementResult, ReclamationMode};
-use crate::metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
+use crate::metrics::{MigrationEvent, RunStats, SimResult, VmOutcome, VmRecord};
 use crate::spec::WorkloadVm;
 use deflate_core::policy::TransferPolicy;
-use deflate_core::resources::ResourceKind;
+use deflate_core::shard::ShardConfig;
 use deflate_core::vm::VmId;
 use deflate_hypervisor::migration::MigrationCostModel;
-use deflate_transient::events::{EventQueue, SimEvent};
+use deflate_transient::events::SimEvent;
+use deflate_transient::sharded::ShardedEventQueue;
 use deflate_transient::signal::CapacitySchedule;
 use std::collections::HashMap;
 
@@ -44,6 +61,7 @@ pub struct ClusterSimulation {
     migrate_back: bool,
     migration_cost: MigrationCostModel,
     transfer_policy: TransferPolicy,
+    shards: ShardConfig,
 }
 
 impl ClusterSimulation {
@@ -59,7 +77,19 @@ impl ClusterSimulation {
             migrate_back: false,
             migration_cost: MigrationCostModel::instant(),
             transfer_policy: TransferPolicy::default(),
+            shards: ShardConfig::sequential(),
         }
+    }
+
+    /// Run the engine with the given shard count ([`ShardConfig`]): per-
+    /// shard event queues built in parallel, per-server passes fanned out
+    /// to `std::thread` workers, one coordinator preserving the global
+    /// event order. Sharding never changes results — any shard count is
+    /// bit-identical to the sequential default — only how fast the run
+    /// goes on multi-core hardware.
+    pub fn with_shards(mut self, shards: ShardConfig) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// Charge migrations with the given cost model: transfers take
@@ -104,6 +134,7 @@ impl ClusterSimulation {
     /// Replay the workload and return the per-VM records and aggregate
     /// counters.
     pub fn run(&self, workload: &[WorkloadVm]) -> SimResult {
+        let started_at = std::time::Instant::now();
         let mut manager = ClusterManager::new(&self.config, self.mode.clone())
             .with_migration_cost(self.migration_cost)
             .with_transfer_policy(self.transfer_policy);
@@ -113,12 +144,15 @@ impl ClusterSimulation {
         // insertion order: departures precede capacity changes precede
         // arrivals at equal timestamps, so back-to-back VMs never
         // artificially overlap and simultaneous arrivals see the already
-        // shrunk server.
-        let mut queue = EventQueue::with_capacity(workload.len() * 2 + self.schedule.len());
+        // shrunk server. The event list is routed into per-shard heaps and
+        // heapified in parallel; popping merges the shard heads under the
+        // same total order, so the shard count never changes the run.
+        let mut events: Vec<(f64, SimEvent)> =
+            Vec::with_capacity(workload.len() * 2 + self.schedule.len());
         let mut horizon: f64 = 0.0;
         for (i, vm) in workload.iter().enumerate() {
-            queue.push(vm.arrival_secs, SimEvent::Arrival(i));
-            queue.push(vm.departure_secs, SimEvent::Departure(i));
+            events.push((vm.arrival_secs, SimEvent::Arrival(i)));
+            events.push((vm.departure_secs, SimEvent::Departure(i)));
             horizon = horizon.max(vm.departure_secs);
         }
         for change in self.schedule.changes() {
@@ -133,15 +167,17 @@ impl ClusterSimulation {
                     available_fraction: change.available_fraction,
                 }
             };
-            queue.push(change.time_secs, event);
+            events.push((change.time_secs, event));
         }
         if let Some(interval) = self.utilization_tick_secs {
             let mut t = 0.0;
             while t <= horizon {
-                queue.push(t, SimEvent::UtilizationTick);
+                events.push((t, SimEvent::UtilizationTick));
                 t += interval;
             }
         }
+        let mut queue =
+            ShardedEventQueue::build(self.shards, self.config.num_servers, workload.len(), events);
 
         // Working state.
         let index_of: HashMap<VmId, usize> = workload
@@ -149,22 +185,14 @@ impl ClusterSimulation {
             .enumerate()
             .map(|(i, vm)| (vm.spec.id, i))
             .collect();
-        let mut records: Vec<VmRecord> = workload
-            .iter()
-            .map(|vm| VmRecord {
-                spec: vm.spec.clone(),
-                arrival_secs: vm.arrival_secs,
-                departure_secs: vm.departure_secs,
-                outcome: VmOutcome::Rejected,
-                allocation_history: Vec::new(),
-                cpu_util: vm.cpu_util.clone(),
-            })
-            .collect();
+        let mut records = self.initial_records(workload);
         let mut running: Vec<bool> = vec![false; workload.len()];
         let mut migrations: Vec<MigrationEvent> = Vec::new();
         let mut utilization: Vec<(f64, f64)> = Vec::new();
+        let mut events_processed: u64 = 0;
 
         while let Some((time, event)) = queue.pop() {
+            events_processed += 1;
             match event {
                 SimEvent::Arrival(i) => {
                     let result = manager.place_vm(workload[i].spec.clone());
@@ -230,7 +258,7 @@ impl ClusterSimulation {
                     server,
                     available_fraction,
                 } => {
-                    Self::observe_utilizations(&mut manager, workload, &running, time);
+                    self.observe_utilizations(&mut manager, workload, &running, time);
                     let outcome = manager.reclaim_capacity(server, available_fraction, time);
                     Self::apply_capacity_outcome(
                         &manager,
@@ -247,7 +275,7 @@ impl ClusterSimulation {
                     server,
                     available_fraction,
                 } => {
-                    Self::observe_utilizations(&mut manager, workload, &running, time);
+                    self.observe_utilizations(&mut manager, workload, &running, time);
                     let outcome = manager.restore_capacity(
                         server,
                         available_fraction,
@@ -279,12 +307,10 @@ impl ClusterSimulation {
                     );
                 }
                 SimEvent::UtilizationTick => {
-                    let mut used = 0.0;
-                    let mut capacity = 0.0;
-                    for server in manager.servers() {
-                        used += server.effective_used()[ResourceKind::Cpu];
-                        capacity += server.capacity[ResourceKind::Cpu];
-                    }
+                    // Per-server values are read shard-parallel; the
+                    // cross-server fold stays sequential in server order so
+                    // the f64 sum is bit-identical for every shard count.
+                    let (used, capacity) = manager.cpu_usage_snapshot(self.shards);
                     let value = if capacity <= 0.0 {
                         0.0
                     } else {
@@ -311,7 +337,46 @@ impl ClusterSimulation {
             num_servers: self.config.num_servers,
             overcommitment,
             policy_name: self.mode.name().to_string(),
+            runtime: RunStats {
+                wall_clock_secs: started_at.elapsed().as_secs_f64(),
+                events_processed,
+                shards: self.shards.count(),
+            },
         }
+    }
+
+    /// Build the per-VM record skeletons, fanning the spec/trace clones out
+    /// to one worker per shard for large workloads. Record `i` depends only
+    /// on workload entry `i`, so chunked construction is trivially
+    /// bit-identical to the sequential pass.
+    fn initial_records(&self, workload: &[WorkloadVm]) -> Vec<VmRecord> {
+        let make = |vm: &WorkloadVm| VmRecord {
+            spec: vm.spec.clone(),
+            arrival_secs: vm.arrival_secs,
+            departure_secs: vm.departure_secs,
+            outcome: VmOutcome::Rejected,
+            allocation_history: Vec::new(),
+            cpu_util: vm.cpu_util.clone(),
+        };
+        if !self.shards.is_parallel() {
+            return workload.iter().map(make).collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .spans(workload.len())
+                .into_iter()
+                .map(|span| {
+                    let chunk = &workload[span];
+                    scope.spawn(move || chunk.iter().map(make).collect::<Vec<_>>())
+                })
+                .collect();
+            let mut records = Vec::with_capacity(workload.len());
+            for handle in handles {
+                records.extend(handle.join().expect("record-init worker panicked"));
+            }
+            records
+        })
     }
 
     /// Refresh every running VM's recent-utilisation sample from its trace
@@ -320,7 +385,15 @@ impl ClusterSimulation {
     /// Only consequential — and only paid for — when a dirty-rate model
     /// is active: without one the samples could never influence an
     /// estimate, so the O(workload) pass is skipped.
+    ///
+    /// Sharded runs split the pass twice: trace sampling (pure per-VM
+    /// reads) fans out over workload chunks, and the per-domain history
+    /// updates fan out over server shards
+    /// ([`ClusterManager::observe_vm_utilizations`]). Chunks concatenate
+    /// in workload order and each domain receives exactly one sample per
+    /// pass, so both halves are bit-identical to the sequential loop.
     fn observe_utilizations(
+        &self,
         manager: &mut ClusterManager,
         workload: &[WorkloadVm],
         running: &[bool],
@@ -329,11 +402,36 @@ impl ClusterSimulation {
         if manager.migration_cost().dirty_rate_mbps <= 0.0 {
             return;
         }
-        for (i, vm) in workload.iter().enumerate() {
-            if running[i] {
-                manager.observe_vm_utilization(vm.spec.id, vm.cpu_util.at(time - vm.arrival_secs));
-            }
-        }
+        let sample = |(i, vm): (usize, &WorkloadVm)| {
+            running[i].then(|| (vm.spec.id, vm.cpu_util.at(time - vm.arrival_secs)))
+        };
+        let samples: Vec<(VmId, f64)> = if self.shards.is_parallel() {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .spans(workload.len())
+                    .into_iter()
+                    .map(|span| {
+                        let base = span.start;
+                        let chunk = &workload[span];
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(k, vm)| sample((base + k, vm)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("trace-sampling worker panicked"))
+                    .collect()
+            })
+        } else {
+            workload.iter().enumerate().filter_map(sample).collect()
+        };
+        manager.observe_vm_utilizations(&samples, self.shards);
     }
 
     /// Fold a capacity-change outcome into the per-VM bookkeeping: evicted
@@ -350,7 +448,7 @@ impl ClusterSimulation {
         records: &mut [VmRecord],
         running: &mut [bool],
         migrations: &mut Vec<MigrationEvent>,
-        queue: &mut EventQueue,
+        queue: &mut ShardedEventQueue,
     ) {
         for &victim in &outcome.victims {
             if let Some(&vi) = index_of.get(&victim) {
@@ -583,6 +681,54 @@ mod tests {
             .with_migrate_back(true)
             .run(&workload);
         assert_eq!(result, again);
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_identical_to_sequential() {
+        let workload = small_workload(160, 41);
+        let servers =
+            (crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0))
+                as f64
+                / 1.3)
+                .floor()
+                .max(2.0) as usize;
+        let schedule = deflate_transient::signal::CapacitySchedule::generate(&TransientConfig {
+            num_servers: servers,
+            transient_fraction: 1.0,
+            duration_secs: 12.0 * 3600.0,
+            profile: CapacityProfile::SquareWave {
+                period_secs: 2.0 * 3600.0,
+                keep_fraction: 0.5,
+                duty: 0.4,
+            },
+            seed: 7,
+        });
+        // A dirty-rate model makes the utilisation-observation pass (the
+        // sharded trace sampling) actually run.
+        let cost = deflate_hypervisor::migration::MigrationCostModel::lan_default()
+            .with_budget_mbps(1250.0)
+            .with_deadline_secs(30.0)
+            .with_dirty_rate(800.0, 2.0);
+        let run = |shards: usize| {
+            ClusterSimulation::new(config(servers), proportional())
+                .with_capacity_schedule(schedule.clone())
+                .with_utilization_ticks(1800.0)
+                .with_migrate_back(true)
+                .with_migration_cost(cost)
+                .with_shards(deflate_core::shard::ShardConfig::with_shards(shards))
+                .run(&workload)
+        };
+        let sequential = run(1);
+        assert!(sequential.runtime.events_processed > 0);
+        assert_eq!(sequential.runtime.shards, 1);
+        for shards in [2, 3, 4, 8] {
+            let sharded = run(shards);
+            assert_eq!(sharded.runtime.shards, shards);
+            assert_eq!(
+                sequential, sharded,
+                "{shards}-shard run diverged from the sequential engine"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   baselines and cluster partitions (§5.2).
 //! * [`pricing`] — static, priority-based and allocation-based pricing
 //!   (§5.2.2) and the revenue accounting behind Figure 22.
+//! * [`shard`] — the engine-sharding knob ([`ShardConfig`]): how many
+//!   worker threads the discrete-event simulator fans per-server work out
+//!   to, with the guarantee that any shard count is bit-identical to the
+//!   sequential engine.
 //!
 //! The simulated hypervisor substrate lives in `deflate-hypervisor`, the
 //! cluster manager and discrete-event simulator in `deflate-cluster`.
@@ -52,11 +56,13 @@ pub mod placement;
 pub mod policy;
 pub mod pricing;
 pub mod resources;
+pub mod shard;
 pub mod vm;
 
 pub use error::{DeflateError, Result};
 pub use perfmodel::PerfModel;
 pub use resources::{ResourceKind, ResourceVector};
+pub use shard::ShardConfig;
 pub use vm::{Priority, ServerId, VmAllocation, VmClass, VmId, VmSpec};
 
 /// Commonly used items, for glob import in examples and downstream crates.
@@ -73,5 +79,6 @@ pub mod prelude {
     };
     pub use crate::pricing::{PricingPolicy, RateCard};
     pub use crate::resources::{ResourceKind, ResourceVector};
+    pub use crate::shard::ShardConfig;
     pub use crate::vm::{Priority, ServerId, VmAllocation, VmClass, VmId, VmSpec};
 }

@@ -122,6 +122,31 @@ impl Scheduled {
     }
 }
 
+/// The queue's total order over `(time, event)` pairs, earliest first:
+/// timestamp (`f64::total_cmp`), then event kind, then entity id, then the
+/// raw bits of the capacity payload. This is the *global* delivery order
+/// every engine — the single [`EventQueue`] and the sharded engine's
+/// coordinator merge (see [`crate::sharded`]) — agrees on; exposing it is
+/// what lets per-shard queues be merged without re-deriving the ordering.
+pub fn event_cmp(a: (f64, SimEvent), b: (f64, SimEvent)) -> Ordering {
+    let a = Scheduled {
+        time: a.0,
+        event: a.1,
+    };
+    let b = Scheduled {
+        time: b.0,
+        event: b.1,
+    };
+    // `Scheduled`'s own Ord is reversed for the max-heap; compare the raw
+    // keys forward here.
+    let (t1, r1, i1, p1) = a.key();
+    let (t2, r2, i2, p2) = b.key();
+    t1.total_cmp(&t2)
+        .then(r1.cmp(&r2))
+        .then(i1.cmp(&i2))
+        .then(p1.cmp(&p2))
+}
+
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == Ordering::Equal
@@ -174,6 +199,26 @@ impl EventQueue {
         }
     }
 
+    /// A queue holding `events`, heapified in one linear pass
+    /// (`BinaryHeap::from`) instead of `n` sift-up pushes — the
+    /// start-of-run bulk build the engine does once per shard. Pop order
+    /// is identical to pushing the events individually: the ordering is
+    /// total, so the drained sequence of a multiset is unique regardless
+    /// of the heap's internal layout. Panics on non-finite timestamps,
+    /// like [`push`](Self::push).
+    pub fn from_events(events: Vec<(f64, SimEvent)>) -> Self {
+        let scheduled: Vec<Scheduled> = events
+            .into_iter()
+            .map(|(time, event)| {
+                assert!(time.is_finite(), "event scheduled at non-finite time");
+                Scheduled { time, event }
+            })
+            .collect();
+        EventQueue {
+            heap: BinaryHeap::from(scheduled),
+        }
+    }
+
     /// Schedule an event. Non-finite timestamps are rejected with a panic —
     /// they would corrupt the queue order.
     pub fn push(&mut self, time: f64, event: SimEvent) {
@@ -189,6 +234,12 @@ impl EventQueue {
     /// The timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<f64> {
         self.heap.peek().map(|s| s.time)
+    }
+
+    /// The earliest pending event as `(time, event)`, without removing it.
+    /// The sharded engine's coordinator compares shard heads through this.
+    pub fn peek(&self) -> Option<(f64, SimEvent)> {
+        self.heap.peek().map(|s| (s.time, s.event))
     }
 
     /// Number of pending events.
@@ -316,6 +367,40 @@ mod tests {
     fn rejects_nan_times() {
         let mut q = EventQueue::new();
         q.push(f64::NAN, SimEvent::UtilizationTick);
+    }
+
+    #[test]
+    fn bulk_build_pops_the_same_sequence_as_pushes() {
+        let events = vec![
+            (3.0, SimEvent::Arrival(0)),
+            (1.0, SimEvent::Departure(4)),
+            (1.0, SimEvent::Arrival(4)),
+            (2.0, SimEvent::UtilizationTick),
+            (1.0, SimEvent::MigrationComplete { migration: 2 }),
+            (
+                1.0,
+                SimEvent::CapacityReclaim {
+                    server: ServerId(3),
+                    available_fraction: 0.25,
+                },
+            ),
+        ];
+        let mut pushed = EventQueue::with_capacity(events.len());
+        for &(t, e) in &events {
+            pushed.push(t, e);
+        }
+        let mut bulk = EventQueue::from_events(events);
+        assert_eq!(bulk.len(), pushed.len());
+        while let Some(expected) = pushed.pop() {
+            assert_eq!(bulk.pop(), Some(expected));
+        }
+        assert!(bulk.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn bulk_build_rejects_nan_times() {
+        let _ = EventQueue::from_events(vec![(f64::NAN, SimEvent::UtilizationTick)]);
     }
 
     #[test]

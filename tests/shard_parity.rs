@@ -1,0 +1,189 @@
+//! Determinism parity for the sharded engine: running any experiment with
+//! `--shards N` must produce a `SimResult` **bit-identical** to the
+//! sequential engine. `SimResult`'s equality covers the full per-VM
+//! records (specs, outcomes, allocation histories), migrations,
+//! utilisation samples, every counter and the deterministic event count —
+//! only the wall clock and the shard count itself are exempt.
+//!
+//! The targeted tests pin the contract on the exact quick-scale
+//! configurations of the `fig_transient` and `fig_scheduler` experiments
+//! (the rows other regression tests pin golden values for); the property
+//! test then varies workload seed, capacity profile and shard count
+//! freely.
+
+use deflate_bench::scale::Scale;
+use deflate_bench::transient_exp::{
+    default_migration_cost, profiles, run_transient_engine, transient_workload, SchedulerVariant,
+    TransientMode, SCHEDULER_SWEEP_MBPS,
+};
+use proptest::prelude::*;
+use vmdeflate::cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
+use vmdeflate::cluster::sim::ClusterSimulation;
+use vmdeflate::cluster::spec::{workload_from_azure, MinAllocationRule};
+use vmdeflate::core::placement::PartitionScheme;
+use vmdeflate::core::policy::{ProportionalDeflation, TransferPolicy};
+use vmdeflate::core::resources::ResourceVector;
+use vmdeflate::core::shard::ShardConfig;
+use vmdeflate::hypervisor::domain::DeflationMechanism;
+use vmdeflate::hypervisor::migration::MigrationCostModel;
+use vmdeflate::traces::azure::{AzureTraceConfig, AzureTraceGenerator};
+use vmdeflate::transient::signal::{CapacityProfile, CapacitySchedule, TransientConfig};
+
+/// `--shards N` for N in {2, 4} is bit-identical to the sequential engine
+/// on every (profile, mode) row of the quick-scale `fig_transient`
+/// experiment.
+#[test]
+fn fig_transient_rows_are_bit_identical_across_shards() {
+    let scale = Scale::Quick;
+    let workload = transient_workload(scale);
+    let cost = default_migration_cost();
+    for profile in profiles() {
+        for mode in TransientMode::ALL {
+            let sequential = run_transient_engine(
+                &workload,
+                scale,
+                mode,
+                profile,
+                cost,
+                TransferPolicy::fifo(),
+                ShardConfig::sequential(),
+            );
+            for shards in [2, 4] {
+                let sharded = run_transient_engine(
+                    &workload,
+                    scale,
+                    mode,
+                    profile,
+                    cost,
+                    TransferPolicy::fifo(),
+                    ShardConfig::with_shards(shards),
+                );
+                assert_eq!(
+                    sequential,
+                    sharded,
+                    "fig_transient {} / {} diverged at {} shards",
+                    profile.name(),
+                    mode.name(),
+                    shards
+                );
+            }
+        }
+    }
+}
+
+/// Same contract on the `fig_scheduler` rows — the experiment whose EDF /
+/// deflate-then-migrate paths exercise staged batches, admission-control
+/// rejections and the dirty-rate-aware sampling pass (the sharded
+/// trace-observation fan-out). One budget is enough: policy behaviour,
+/// not the budget grid, is what varies the code path.
+#[test]
+fn fig_scheduler_rows_are_bit_identical_across_shards() {
+    let scale = Scale::Quick;
+    let workload = transient_workload(scale);
+    let profile = CapacityProfile::spot_market_default();
+    let budget = SCHEDULER_SWEEP_MBPS[0];
+    for mode in [TransientMode::Deflation, TransientMode::MigrationOnly] {
+        for variant in SchedulerVariant::ALL {
+            if !variant.applies_to(mode) {
+                continue;
+            }
+            let run = |shards: usize| {
+                run_transient_engine(
+                    &workload,
+                    scale,
+                    mode,
+                    profile,
+                    variant.cost(budget),
+                    variant.policy(),
+                    ShardConfig::with_shards(shards),
+                )
+            };
+            let sequential = run(1);
+            for shards in [2, 4] {
+                assert_eq!(
+                    sequential,
+                    run(shards),
+                    "fig_scheduler {} / {} diverged at {} shards",
+                    mode.name(),
+                    variant.name(),
+                    shards
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomised parity: arbitrary trace seeds, shard counts (including
+    /// counts above the server count), capacity profiles and migrate-back
+    /// settings all produce the sequential result, bit for bit.
+    #[test]
+    fn random_configurations_are_bit_identical_across_shards(
+        seed in 0u64..10_000,
+        num_vms in 60usize..180,
+        shards in 2usize..9,
+        profile_pick in 0usize..3,
+        migrate_back in 0usize..2,
+    ) {
+        let traces = AzureTraceGenerator::generate(&AzureTraceConfig {
+            num_vms,
+            duration_hours: 8.0,
+            seed,
+            ..Default::default()
+        });
+        let workload = workload_from_azure(&traces, MinAllocationRule::None);
+        let capacity = ResourceVector::cpu_mem(48_000.0, 131_072.0);
+        let servers = vmdeflate::cluster::spec::min_cluster_size(&workload, capacity)
+            .saturating_sub(1)
+            .max(2);
+        let profile = match profile_pick {
+            0 => CapacityProfile::square_wave_default(),
+            1 => CapacityProfile::diurnal_default(),
+            _ => CapacityProfile::spot_market_default(),
+        };
+        let schedule = CapacitySchedule::generate(&TransientConfig {
+            num_servers: servers,
+            transient_fraction: 1.0,
+            duration_secs: 8.0 * 3600.0,
+            profile,
+            seed,
+        });
+        let config = ClusterConfig {
+            num_servers: servers,
+            server_capacity: capacity,
+            placement: PlacementKind::CosineFitness,
+            partitions: PartitionScheme::None,
+            mechanism: DeflationMechanism::Transparent,
+        };
+        let run = |n: usize| {
+            ClusterSimulation::new(
+                config.clone(),
+                ReclamationMode::Deflation(std::sync::Arc::new(
+                    ProportionalDeflation::default(),
+                )),
+            )
+            .with_capacity_schedule(schedule.clone())
+            .with_migrate_back(migrate_back == 1)
+            .with_migration_cost(
+                MigrationCostModel::lan_default()
+                    .with_budget_mbps(1250.0)
+                    .with_deadline_secs(30.0)
+                    .with_dirty_rate(800.0, 2.0),
+            )
+            .with_transfer_policy(TransferPolicy::edf())
+            .with_utilization_ticks(1800.0)
+            .with_shards(ShardConfig::with_shards(n))
+            .run(&workload)
+        };
+        let sequential = run(1);
+        let sharded = run(shards);
+        prop_assert_eq!(&sequential, &sharded);
+        // The deterministic event count is part of the contract.
+        prop_assert_eq!(
+            sequential.runtime.events_processed,
+            sharded.runtime.events_processed
+        );
+    }
+}
