@@ -16,6 +16,7 @@
 //! | [`web`] | 16, 17, 18, 19 |
 //! | [`cluster_exp`] | 20, 21, 22 |
 //! | [`transient_exp`] | transient-capacity reclamation comparison + migration-bandwidth sweep + transfer-scheduler sweep |
+//! | [`autoscale_exp`] | elastic autoscaling under transient capacity: launch-only vs deflation-aware (`fig_autoscale`) |
 //! | [`scale_exp`] | engine-scaling sweep: cluster size × shard count (`fig_scale`) |
 //! | [`ablation`] | placement / partition / mechanism ablations |
 //!
@@ -36,6 +37,7 @@
 
 pub mod ablation;
 pub mod apps_exp;
+pub mod autoscale_exp;
 pub mod cluster_exp;
 pub mod feasibility;
 pub mod report;
@@ -73,6 +75,7 @@ pub fn print_all(scale: Scale) {
     transient_exp::fig_transient_table(scale).print();
     transient_exp::bandwidth_sweep_table(scale).print();
     transient_exp::scheduler_sweep_table(scale).print();
+    autoscale_exp::fig_autoscale_table(scale).print();
     ablation::placement_ablation(scale).print();
     ablation::partition_ablation(scale).print();
     ablation::mechanism_ablation().print();

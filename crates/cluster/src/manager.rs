@@ -50,17 +50,18 @@
 //! deadline.
 
 use crate::scheduler::{SchedulerStats, TransferDecision, TransferRequest, TransferScheduler};
+use deflate_autoscale::ElasticCluster;
 use deflate_core::error::{DeflateError, Result};
 use deflate_core::placement::{
     BestFit, CosineFitness, FirstFit, PartitionScheme, PartitionedPlacement, PlacementPolicy,
     ServerView, WorstFit,
 };
-use deflate_core::policy::{DeflationPolicy, TransferPolicy};
+use deflate_core::policy::{DeflationPolicy, RestorePolicy, TransferPolicy};
 use deflate_core::resources::{ResourceKind, ResourceVector};
 use deflate_core::shard::ShardConfig;
 use deflate_core::vm::{ServerId, VmId, VmSpec};
 use deflate_hypervisor::controller::{AdmissionOutcome, LocalController};
-use deflate_hypervisor::domain::DeflationMechanism;
+use deflate_hypervisor::domain::{CacheRegrowthModel, DeflationMechanism};
 use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_hypervisor::server::SimServer;
 use serde::{Deserialize, Serialize};
@@ -394,6 +395,17 @@ pub struct ClusterManager {
     /// Transfers selected but not yet booked, within the current capacity
     /// event only (always empty between manager calls).
     staged: Vec<StagedTransfer>,
+    /// How residents are reinflated after capacity restitutions
+    /// (hysteresis / spread-out; the greedy default is bit-identical to
+    /// the pre-knob behaviour).
+    restore_policy: RestorePolicy,
+    /// Per-server time of the last capacity reclamation, for the restore
+    /// policy's hysteresis window (`-∞` before the first reclaim).
+    last_reclaim_secs: Vec<f64>,
+    /// Time-based page-cache regrowth model applied to a server's guests
+    /// ahead of each capacity event (disabled by default — caches then
+    /// only refill on usage reports, the historical behaviour).
+    cache_regrowth: CacheRegrowthModel,
     counters: AdmissionCounters,
     transient: TransientCounters,
 }
@@ -433,9 +445,45 @@ impl ClusterManager {
             next_migration_id: 0,
             scheduler: TransferScheduler::new(config.num_servers, TransferPolicy::default()),
             staged: Vec::new(),
+            restore_policy: RestorePolicy::default(),
+            last_reclaim_secs: vec![f64::NEG_INFINITY; config.num_servers],
+            cache_regrowth: CacheRegrowthModel::default(),
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
         }
+    }
+
+    /// Builder-style restore-policy override. The default is
+    /// [`RestorePolicy::greedy`] — every restitution immediately
+    /// reinflates residents into the whole returned room, bit-identical
+    /// to the behaviour before the knob existed. Hysteresis skips
+    /// reinflation while the server's last reclamation is recent;
+    /// spread-out reinflation hands back only a fraction of the room per
+    /// restitution.
+    pub fn with_restore_policy(mut self, policy: RestorePolicy) -> Self {
+        self.restore_policy = policy;
+        self
+    }
+
+    /// The restore policy in effect.
+    pub fn restore_policy(&self) -> RestorePolicy {
+        self.restore_policy
+    }
+
+    /// Builder-style cache-regrowth override. The default is
+    /// [`CacheRegrowthModel::disabled`] — squeezed page caches refill
+    /// only on usage reports, bit-identical to the behaviour before the
+    /// model existed. With a positive rate, a server's guests regrow
+    /// their caches over simulated time ahead of each capacity event, so
+    /// repeated deflate-then-migrate squeezes are no longer free.
+    pub fn with_cache_regrowth(mut self, model: CacheRegrowthModel) -> Self {
+        self.cache_regrowth = model;
+        self
+    }
+
+    /// The cache-regrowth model in effect.
+    pub fn cache_regrowth(&self) -> CacheRegrowthModel {
+        self.cache_regrowth
     }
 
     /// Builder-style migration cost model override. The default is
@@ -906,6 +954,8 @@ impl ClusterManager {
         }
         let fraction = available_fraction.clamp(0.0, 1.0);
         self.transient.reclaim_events += 1;
+        self.advance_caches_on(idx, now_secs);
+        self.last_reclaim_secs[idx] = now_secs;
         outcome.touch(server);
         self.controllers[idx]
             .server_mut()
@@ -928,6 +978,44 @@ impl ClusterManager {
             .is_ok()
         {
             self.controllers[idx].reinflate();
+        }
+    }
+
+    /// The restitution-response variant of
+    /// [`reinflate_if_fits`](Self::reinflate_if_fits), filtered through the
+    /// [`RestorePolicy`]: within the hysteresis window of the server's last
+    /// reclamation nothing is reinflated (an oscillating signal would
+    /// squeeze it right back down), and with spread-out reinflation only a
+    /// fraction of the free room is handed back per restitution event.
+    /// Reinflation after departures and migration completions stays
+    /// greedy — freed room there is not a signal edge.
+    fn reinflate_after_restore(&mut self, idx: usize, now_secs: f64) {
+        if now_secs - self.last_reclaim_secs[idx] < self.restore_policy.hysteresis_secs {
+            return;
+        }
+        if self.restore_policy.step_fraction >= 1.0 {
+            self.reinflate_if_fits(idx);
+        } else if self.controllers[idx]
+            .server()
+            .check_capacity_invariant()
+            .is_ok()
+        {
+            self.controllers[idx].reinflate_partial(self.restore_policy.step_fraction);
+        }
+    }
+
+    /// Advance the time-based page-cache regrowth of every guest on one
+    /// server to `now_secs` — called ahead of each capacity event so the
+    /// migration cost model sees caches that refilled since the last
+    /// squeeze. A no-op (and bit-identical to the pre-model behaviour)
+    /// while the model is disabled.
+    fn advance_caches_on(&mut self, idx: usize, now_secs: f64) {
+        if !self.cache_regrowth.is_enabled() {
+            return;
+        }
+        let model = self.cache_regrowth;
+        for domain in self.controllers[idx].server_mut().domains_mut() {
+            domain.advance_cache_regrowth(now_secs, model);
         }
     }
 
@@ -987,19 +1075,24 @@ impl ClusterManager {
         }
         let fraction = available_fraction.clamp(0.0, 1.0);
         self.transient.restore_events += 1;
+        self.advance_caches_on(idx, now_secs);
         self.controllers[idx]
             .server_mut()
             .set_capacity(self.base_capacity * fraction);
-        self.reinflate_if_fits(idx);
+        self.reinflate_after_restore(idx, now_secs);
         outcome.touch(server);
         // A "restitution" to a fraction below the current usage is really a
         // reclamation in disguise (e.g. a hand-built schedule with a
         // mislabelled direction): absorb it the same way rather than leaving
         // the server over capacity, and hand any room migration freed back
-        // to the surviving residents.
+        // to the surviving residents. It opens the restore policy's
+        // hysteresis window like any real reclamation — residents were
+        // just squeezed, so an immediately following restitution must not
+        // pump them straight back up.
         if !self.fits_with_pending(idx) {
+            self.last_reclaim_secs[idx] = now_secs;
             self.absorb_overage(idx, now_secs, &mut outcome);
-            self.reinflate_if_fits(idx);
+            self.reinflate_after_restore(idx, now_secs);
         }
 
         if migrate_back {
@@ -1020,9 +1113,18 @@ impl ClusterManager {
                 let Some(&current) = self.vm_location.get(&vm) else {
                     continue;
                 };
+                // The candidate's cache may have regrown since it was last
+                // squeezed; bring it up to date before costing the copy.
+                self.advance_caches_on(current, now_secs);
                 let Some(domain) = self.controllers[current].server().domain(vm) else {
                     continue;
                 };
+                if domain.is_parked() {
+                    // A parked replica stays put: moving it would undo the
+                    // autoscaler's scale-in. It remains displaced, so a
+                    // restitution after its unpark can still bring it home.
+                    continue;
+                }
                 let spec = domain.spec.clone();
                 let duration = self.cost_model.transfer_secs(domain);
                 let volume = self.cost_model.transfer_volume_mb(domain);
@@ -1037,13 +1139,20 @@ impl ClusterManager {
                     continue;
                 }
                 if duration <= 0.0 {
-                    // Cost-free transfer: complete the move inline.
+                    // Cost-free transfer: complete the move inline, the
+                    // guest state travelling home with it.
+                    let src = self.controllers[current].server().domain(vm).cloned();
                     self.depart_and_reinflate(current, vm);
                     if self.controllers[idx]
                         .server_mut()
                         .create_domain(spec, self.mechanism)
                         .is_ok()
                     {
+                        if let (Some(src), Some(dst)) =
+                            (&src, self.controllers[idx].server_mut().domain_mut(vm))
+                        {
+                            dst.migrate_guest_state_from(src);
+                        }
                         self.vm_location.insert(vm, idx);
                         self.migration_origin.remove(&vm);
                         self.transient.migrations_back += 1;
@@ -1148,13 +1257,19 @@ impl ClusterManager {
                 return;
             }
             // Pick the most-deflated untried resident (deflatable first),
-            // skipping VMs already part of an in-flight transfer.
+            // skipping VMs already part of an in-flight transfer and
+            // autoscale-parked replicas — a parked domain would sort
+            // first (it is the most-deflated by construction), but
+            // migrating it would silently undo the park on landing, and
+            // its sliver of capacity is hardly worth a transfer; the
+            // eviction rung may still take it as a last resort.
             let candidate = {
                 let server = self.controllers[source].server();
                 let mut best: Option<(bool, f64, VmId)> = None;
                 for domain in server.domains() {
                     if attempted.contains(&domain.spec.id)
                         || self.in_flight_by_vm.contains_key(&domain.spec.id)
+                        || domain.is_parked()
                     {
                         continue;
                     }
@@ -1208,8 +1323,15 @@ impl ClusterManager {
             };
             if duration <= 0.0 {
                 // Cost-free transfer: the VM now exists on the target;
-                // destroy the source copy without reinflating yet (the
-                // server is still over capacity).
+                // its guest state moves over, and the source copy is
+                // destroyed without reinflating yet (the server is still
+                // over capacity).
+                if let Some(src) = self.controllers[source].server().domain(vm) {
+                    let src = src.clone();
+                    if let Some(dst) = self.controllers[target].server_mut().domain_mut(vm) {
+                        dst.migrate_guest_state_from(&src);
+                    }
+                }
                 let _ = self.controllers[source].server_mut().destroy_domain(vm);
                 self.vm_location.insert(vm, target);
                 self.migration_origin.entry(vm).or_insert(source);
@@ -1340,7 +1462,19 @@ impl ClusterManager {
             self.transient.reclamation_victims += 1;
             outcome.victims.push(flight.vm);
         } else {
-            // Success: land on the destination, free the source.
+            // Success: land on the destination — carrying the guest's
+            // memory state (RSS, squeezed-or-not page cache, utilisation
+            // history) with it, as live migration does — and free the
+            // source.
+            if let Some(src) = self.controllers[flight.source].server().domain(flight.vm) {
+                let src = src.clone();
+                if let Some(dst) = self.controllers[flight.dest]
+                    .server_mut()
+                    .domain_mut(flight.vm)
+                {
+                    dst.migrate_guest_state_from(&src);
+                }
+            }
             self.depart_and_reinflate(flight.source, flight.vm);
             self.vm_location.insert(flight.vm, flight.dest);
             if flight.back {
@@ -1548,6 +1682,68 @@ impl ClusterManager {
     }
 }
 
+/// The autoscaler's view of the cluster: every replica operation goes
+/// through the manager's own placement, deflation and reinflation
+/// machinery, so elastic capacity is always accounted for exactly like
+/// trace capacity — the autoscaler can neither create nor destroy
+/// resources outside the manager's books.
+impl ElasticCluster for ClusterManager {
+    /// Place a new replica through the ordinary admission path (it may
+    /// deflate residents, exactly like a trace arrival). `None` when every
+    /// server rejects it — counted as a rejected admission.
+    fn launch_replica(&mut self, spec: VmSpec) -> Option<ServerId> {
+        match self.place_vm(spec) {
+            PlacementResult::Placed { server }
+            | PlacementResult::PlacedWithDeflation { server, .. }
+            | PlacementResult::PlacedWithPreemption { server, .. } => Some(server),
+            PlacementResult::Rejected => None,
+        }
+    }
+
+    /// Terminate a replica like a departure: its domain is destroyed and
+    /// the server's residents reinflate into the freed room.
+    fn retire_replica(&mut self, vm: VmId) -> Option<ServerId> {
+        let server = self.locate(vm)?;
+        self.remove_vm(vm).ok()?;
+        Some(server)
+    }
+
+    /// Deflate a replica to `fraction` of its allocation and mark its
+    /// domain parked, so server-level reinflation passes leave it alone
+    /// until [`unpark_replica`](Self::unpark_replica). The surrendered
+    /// room goes to the server's other residents. `None` while the VM is
+    /// part of an in-flight migration (its footprint is pledged to two
+    /// servers at once — the autoscaler picks another replica).
+    fn park_replica(&mut self, vm: VmId, fraction: f64) -> Option<ServerId> {
+        if self.in_flight_by_vm.contains_key(&vm) {
+            return None;
+        }
+        let &idx = self.vm_location.get(&vm)?;
+        let domain = self.controllers[idx].server_mut().domain_mut(vm)?;
+        let target = domain.spec.max_allocation * fraction.clamp(0.0, 1.0);
+        domain.deflate_to(target);
+        domain.set_parked(true);
+        self.reinflate_if_fits(idx);
+        Some(self.controllers[idx].server().id)
+    }
+
+    /// Clear the replica's parked flag and reinflate its server — the
+    /// reinflate-on-demand path. Under reclamation pressure the replica
+    /// may come back only partially inflated (it shares the room with its
+    /// neighbours), which is still infinitely better than a boot delay.
+    fn unpark_replica(&mut self, vm: VmId) -> Option<ServerId> {
+        let &idx = self.vm_location.get(&vm)?;
+        let domain = self.controllers[idx].server_mut().domain_mut(vm)?;
+        domain.set_parked(false);
+        self.reinflate_if_fits(idx);
+        Some(self.controllers[idx].server().id)
+    }
+
+    fn replica_allocation_fraction(&self, vm: VmId) -> Option<f64> {
+        self.cpu_allocation_fraction(vm)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1678,6 +1874,132 @@ mod tests {
         assert_eq!(cluster.transient_counters().absorbed_by_deflation, 1);
         // Give it back: everyone reinflates to full.
         cluster.restore_capacity(ServerId(0), 1.0, false, 0.0);
+        assert!(cluster
+            .running_allocation_fractions()
+            .iter()
+            .all(|(_, f)| (*f - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn restore_hysteresis_defers_reinflation_after_a_recent_reclaim() {
+        let policy = RestorePolicy::hysteresis(60.0);
+        let mut cluster = small_cluster(deflation_mode()).with_restore_policy(policy);
+        assert_eq!(cluster.restore_policy(), policy);
+        for i in 0..4 {
+            assert!(cluster.place_vm(vm(i, 8.0, 0.5)).is_placed());
+        }
+        cluster.reclaim_capacity(ServerId(0), 0.5, 0.0);
+        assert!(cluster
+            .running_allocation_fractions()
+            .iter()
+            .any(|(_, f)| *f < 1.0 - 1e-9));
+        // A restitution 10 s after the reclaim is inside the hysteresis
+        // window: capacity returns, residents stay deflated.
+        cluster.restore_capacity(ServerId(0), 1.0, false, 10.0);
+        assert!((cluster.capacity_fraction(ServerId(0)) - 1.0).abs() < 1e-9);
+        assert!(cluster
+            .running_allocation_fractions()
+            .iter()
+            .any(|(_, f)| *f < 1.0 - 1e-9));
+        // A restitution outside the window reinflates fully.
+        cluster.restore_capacity(ServerId(0), 1.0, false, 100.0);
+        assert!(cluster
+            .running_allocation_fractions()
+            .iter()
+            .all(|(_, f)| (*f - 1.0).abs() < 1e-6));
+        assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn spread_out_restores_reinflate_geometrically() {
+        let mut cluster =
+            small_cluster(deflation_mode()).with_restore_policy(RestorePolicy::spread(0.5));
+        for i in 0..4 {
+            assert!(cluster.place_vm(vm(i, 8.0, 0.5)).is_placed());
+        }
+        cluster.reclaim_capacity(ServerId(0), 0.5, 0.0);
+        let deflated: f64 = cluster
+            .allocation_fractions_on(ServerId(0))
+            .iter()
+            .map(|(_, f)| *f)
+            .sum();
+        // One restitution returns only half the free room.
+        cluster.restore_capacity(ServerId(0), 1.0, false, 100.0);
+        let after_one: f64 = cluster
+            .allocation_fractions_on(ServerId(0))
+            .iter()
+            .map(|(_, f)| *f)
+            .sum();
+        assert!(after_one > deflated + 1e-6, "some room came back");
+        assert!(
+            after_one < 2.0 - 1e-6,
+            "full reinflation must take several events, got {after_one}"
+        );
+        // Repeated restitutions converge towards full size.
+        for k in 1..=6 {
+            cluster.restore_capacity(ServerId(0), 1.0, false, 100.0 + k as f64);
+        }
+        let converged: f64 = cluster
+            .allocation_fractions_on(ServerId(0))
+            .iter()
+            .map(|(_, f)| *f)
+            .sum();
+        assert!(converged > 1.95, "converged sum {converged}");
+        assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn parked_replicas_are_never_migration_candidates() {
+        // First-fit packs both VMs onto server 0 of a 3-server cluster.
+        let config = ClusterConfig {
+            num_servers: 3,
+            server_capacity: ResourceVector::cpu_mem(16_000.0, 32_768.0),
+            placement: PlacementKind::FirstFit,
+            partitions: PartitionScheme::None,
+            mechanism: DeflationMechanism::Transparent,
+        };
+        let mut cluster = ClusterManager::new(&config, ReclamationMode::MigrationOnly);
+        assert!(cluster.place_vm(vm(1, 8.0, 0.5)).is_placed());
+        assert!(cluster.place_vm(vm(2, 8.0, 0.5)).is_placed());
+        // Park VM 1: most-deflated resident by construction.
+        assert!(cluster.park_replica(VmId(1), 0.1).is_some());
+        // Reclaim server 0 below the pair's footprint: migration must
+        // skip the parked replica and move VM 2 instead.
+        let outcome = cluster.reclaim_capacity(ServerId(0), 0.5, 0.0);
+        assert!(outcome.victims.is_empty(), "{outcome:?}");
+        assert_eq!(cluster.locate(VmId(1)), Some(ServerId(0)));
+        assert_ne!(cluster.locate(VmId(2)), Some(ServerId(0)));
+        let d1 = cluster.controllers[0].server().domain(VmId(1)).unwrap();
+        assert!(d1.is_parked(), "the park must survive the reclamation");
+        assert!(
+            d1.effective_allocation().cpu() <= 1600.0 + 1e-6,
+            "the parked sliver must not reinflate"
+        );
+        assert!(cluster.check_invariants());
+    }
+
+    #[test]
+    fn disguised_reclamation_opens_the_hysteresis_window() {
+        let mut cluster =
+            small_cluster(deflation_mode()).with_restore_policy(RestorePolicy::hysteresis(60.0));
+        for i in 0..4 {
+            assert!(cluster.place_vm(vm(i, 8.0, 0.5)).is_placed());
+        }
+        // A "restore" below usage at t=100 squeezes like a reclamation…
+        cluster.restore_capacity(ServerId(0), 0.5, false, 100.0);
+        assert!(cluster
+            .running_allocation_fractions()
+            .iter()
+            .any(|(_, f)| *f < 1.0 - 1e-9));
+        // …so a true restitution one second later is inside the window:
+        // residents must stay deflated, not bounce straight back up.
+        cluster.restore_capacity(ServerId(0), 1.0, false, 101.0);
+        assert!(cluster
+            .running_allocation_fractions()
+            .iter()
+            .any(|(_, f)| *f < 1.0 - 1e-9));
+        // Outside the window they reinflate.
+        cluster.restore_capacity(ServerId(0), 1.0, false, 200.0);
         assert!(cluster
             .running_allocation_fractions()
             .iter()

@@ -3,6 +3,7 @@
 
 use crate::manager::{AdmissionCounters, TransientCounters};
 use crate::scheduler::SchedulerStats;
+use deflate_autoscale::AutoscaleStats;
 use deflate_core::pricing::{PricingPolicy, RateCard};
 use deflate_core::vm::VmSpec;
 use deflate_core::vm::{ServerId, VmId};
@@ -220,6 +221,11 @@ pub struct SimResult {
     /// Transfer-scheduler accounting: bandwidth slots booked, EDF admission
     /// rejections, and queueing delay behind the per-server budgets.
     pub scheduler: SchedulerStats,
+    /// Autoscaling accounting: scale actions, launches vs reinflations,
+    /// replicas lost, setpoint error and the elastic application's
+    /// response-time profile. All-default for runs without an enabled
+    /// [`AutoscalePolicy`](deflate_core::policy::AutoscalePolicy).
+    pub autoscale: AutoscaleStats,
     /// Every migration performed, in time order.
     pub migrations: Vec<MigrationEvent>,
     /// Cluster-utilisation samples `(time_secs, effective used / currently
@@ -246,6 +252,7 @@ impl PartialEq for SimResult {
             counters,
             transient,
             scheduler,
+            autoscale,
             migrations,
             utilization,
             num_servers,
@@ -257,6 +264,7 @@ impl PartialEq for SimResult {
             && *counters == other.counters
             && *transient == other.transient
             && *scheduler == other.scheduler
+            && *autoscale == other.autoscale
             && *migrations == other.migrations
             && *utilization == other.utilization
             && *num_servers == other.num_servers
@@ -516,6 +524,7 @@ mod tests {
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
             scheduler: SchedulerStats::default(),
+            autoscale: AutoscaleStats::default(),
             migrations: vec![],
             utilization: vec![],
             num_servers: 2,
@@ -545,6 +554,7 @@ mod tests {
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
             scheduler: SchedulerStats::default(),
+            autoscale: AutoscaleStats::default(),
             migrations: vec![],
             utilization: vec![],
             num_servers: 0,
@@ -569,6 +579,7 @@ mod tests {
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
             scheduler: SchedulerStats::default(),
+            autoscale: AutoscaleStats::default(),
             migrations: vec![],
             utilization: vec![],
             num_servers: 1,

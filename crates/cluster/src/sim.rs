@@ -25,6 +25,18 @@
 //! case the VM is aborted and evicted) and feeds it back through
 //! [`ClusterManager::complete_migration`].
 //!
+//! # Elastic autoscaling
+//!
+//! With [`ClusterSimulation::with_autoscale`] the run also hosts
+//! **elastic applications** (`deflate-autoscale`): replica pools resized
+//! by a target-tracking autoscaler that observes each `UtilizationTick`
+//! and schedules [`SimEvent::ScaleOut`] / [`SimEvent::ScaleIn`] events
+//! for its decisions. The deflation-aware policy scales in by *parking*
+//! (deflating) replicas and scales out by *reinflating* them — instantly,
+//! where a fresh launch pays a boot delay. `AutoscalePolicy::Disabled`
+//! (the default) schedules nothing and is bit-identical to a run without
+//! the call.
+//!
 //! # Sharded engine
 //!
 //! For large traces the simulator can run its engine **sharded**
@@ -43,9 +55,11 @@
 use crate::manager::{ClusterConfig, ClusterManager, PlacementResult, ReclamationMode};
 use crate::metrics::{MigrationEvent, RunStats, SimResult, VmOutcome, VmRecord};
 use crate::spec::WorkloadVm;
-use deflate_core::policy::TransferPolicy;
+use deflate_autoscale::{Autoscaler, ElasticApp};
+use deflate_core::policy::{AutoscalePolicy, RestorePolicy, TransferPolicy};
 use deflate_core::shard::ShardConfig;
 use deflate_core::vm::VmId;
+use deflate_hypervisor::domain::CacheRegrowthModel;
 use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_transient::events::SimEvent;
 use deflate_transient::sharded::ShardedEventQueue;
@@ -61,6 +75,10 @@ pub struct ClusterSimulation {
     migrate_back: bool,
     migration_cost: MigrationCostModel,
     transfer_policy: TransferPolicy,
+    restore_policy: RestorePolicy,
+    cache_regrowth: CacheRegrowthModel,
+    autoscale_policy: AutoscalePolicy,
+    elastic_apps: Vec<ElasticApp>,
     shards: ShardConfig,
 }
 
@@ -77,6 +95,10 @@ impl ClusterSimulation {
             migrate_back: false,
             migration_cost: MigrationCostModel::instant(),
             transfer_policy: TransferPolicy::default(),
+            restore_policy: RestorePolicy::default(),
+            cache_regrowth: CacheRegrowthModel::default(),
+            autoscale_policy: AutoscalePolicy::default(),
+            elastic_apps: Vec::new(),
             shards: ShardConfig::sequential(),
         }
     }
@@ -109,6 +131,37 @@ impl ClusterSimulation {
         self
     }
 
+    /// Reinflate residents after capacity restitutions under the given
+    /// [`RestorePolicy`]: the greedy default hands the whole returned room
+    /// back immediately (bit-identical to the pre-knob behaviour);
+    /// hysteresis and spread-out variants damp the response to
+    /// fast-oscillating capacity signals.
+    pub fn with_restore_policy(mut self, policy: RestorePolicy) -> Self {
+        self.restore_policy = policy;
+        self
+    }
+
+    /// Regrow squeezed page caches over simulated time with the given
+    /// model (default: disabled — caches refill only on usage reports).
+    /// With a positive rate, repeated deflate-then-migrate squeezes of the
+    /// same guest are no longer free.
+    pub fn with_cache_regrowth(mut self, model: CacheRegrowthModel) -> Self {
+        self.cache_regrowth = model;
+        self
+    }
+
+    /// Run elastic applications under the given [`AutoscalePolicy`]. With
+    /// `Disabled` (the default) this is a no-op — no events, no replicas,
+    /// bit-identical to a run without the call. Enabled policies require
+    /// [`with_utilization_ticks`](Self::with_utilization_ticks), which is
+    /// where scaling decisions are made; each app's replica-id range must
+    /// be disjoint from the workload's VM ids.
+    pub fn with_autoscale(mut self, policy: AutoscalePolicy, apps: Vec<ElasticApp>) -> Self {
+        self.autoscale_policy = policy;
+        self.elastic_apps = apps;
+        self
+    }
+
     /// Attach a provider-side capacity schedule: its reclamation and
     /// restitution change-points become `CapacityReclaim` / `CapacityRestore`
     /// events in the run.
@@ -137,7 +190,15 @@ impl ClusterSimulation {
         let started_at = std::time::Instant::now();
         let mut manager = ClusterManager::new(&self.config, self.mode.clone())
             .with_migration_cost(self.migration_cost)
-            .with_transfer_policy(self.transfer_policy);
+            .with_transfer_policy(self.transfer_policy)
+            .with_restore_policy(self.restore_policy)
+            .with_cache_regrowth(self.cache_regrowth);
+        // The autoscaler exists only for enabled policies: a Disabled run
+        // schedules no scale events and touches no autoscaler state, so it
+        // is bit-identical to a run of the engine before autoscaling
+        // existed (pinned by the golden regression tests).
+        let mut autoscaler = (self.autoscale_policy.is_enabled() && !self.elastic_apps.is_empty())
+            .then(|| Autoscaler::new(self.autoscale_policy, self.elastic_apps.clone()));
 
         // Schedule every event up front. The queue's deterministic total
         // order (time, then kind, then id) makes the run independent of
@@ -176,6 +237,10 @@ impl ClusterSimulation {
                 t += interval;
             }
         }
+        if let Some(autoscaler) = &autoscaler {
+            // Bootstrap scale-outs launch each app's initial pool.
+            events.extend(autoscaler.initial_events());
+        }
         let mut queue =
             ShardedEventQueue::build(self.shards, self.config.num_servers, workload.len(), events);
 
@@ -211,6 +276,12 @@ impl ClusterSimulation {
                                 if let Some(&vi) = index_of.get(victim) {
                                     records[vi].outcome = VmOutcome::Preempted { at_secs: time };
                                     running[vi] = false;
+                                } else if let Some(autoscaler) = autoscaler.as_mut() {
+                                    // A preempted elastic replica must
+                                    // leave the autoscaler's pool, or it
+                                    // would count as active forever and
+                                    // block its own replacement.
+                                    autoscaler.on_replica_evicted(*victim);
                                 }
                             }
                             Some(server)
@@ -269,6 +340,7 @@ impl ClusterSimulation {
                         &mut running,
                         &mut migrations,
                         &mut queue,
+                        &mut autoscaler,
                     );
                 }
                 SimEvent::CapacityRestore {
@@ -291,6 +363,7 @@ impl ClusterSimulation {
                         &mut running,
                         &mut migrations,
                         &mut queue,
+                        &mut autoscaler,
                     );
                 }
                 SimEvent::MigrationComplete { migration } => {
@@ -304,6 +377,7 @@ impl ClusterSimulation {
                         &mut running,
                         &mut migrations,
                         &mut queue,
+                        &mut autoscaler,
                     );
                 }
                 SimEvent::UtilizationTick => {
@@ -317,6 +391,60 @@ impl ClusterSimulation {
                         used / capacity
                     };
                     utilization.push((time, value));
+                    // Autoscaling decisions hang off the same ticks: the
+                    // autoscaler observes each app against the settled
+                    // cluster state and schedules ScaleOut / ScaleIn
+                    // events at the coordinator — deterministic at any
+                    // shard count.
+                    if let Some(autoscaler) = autoscaler.as_mut() {
+                        for (t, event) in autoscaler.on_tick(time, &manager) {
+                            queue.push(t, event);
+                        }
+                    }
+                }
+                SimEvent::ScaleOut { app } => {
+                    let Some(scaler) = autoscaler.as_mut() else {
+                        continue;
+                    };
+                    let touched = scaler.on_scale_out(app, time, &mut manager);
+                    // Under the preemption baseline a replica launch can
+                    // kill resident workload VMs — and other replicas;
+                    // reconcile both (deflation and migration-only
+                    // launches never preempt).
+                    if matches!(self.mode, ReclamationMode::Preemption) {
+                        for (i, record) in records.iter_mut().enumerate() {
+                            if running[i] && manager.locate(workload[i].spec.id).is_none() {
+                                record.outcome = VmOutcome::Preempted { at_secs: time };
+                                running[i] = false;
+                            }
+                        }
+                        scaler.reconcile_lost(&manager);
+                    }
+                    for server in touched {
+                        Self::record_allocations(
+                            &manager,
+                            server,
+                            &index_of,
+                            &mut records,
+                            &running,
+                            time,
+                        );
+                    }
+                }
+                SimEvent::ScaleIn { app } => {
+                    let Some(autoscaler) = autoscaler.as_mut() else {
+                        continue;
+                    };
+                    for server in autoscaler.on_scale_in(app, time, &mut manager) {
+                        Self::record_allocations(
+                            &manager,
+                            server,
+                            &index_of,
+                            &mut records,
+                            &running,
+                            time,
+                        );
+                    }
                 }
             }
         }
@@ -332,6 +460,7 @@ impl ClusterSimulation {
             counters: manager.counters(),
             transient: manager.transient_counters(),
             scheduler: manager.scheduler_stats(),
+            autoscale: autoscaler.map(Autoscaler::into_stats).unwrap_or_default(),
             migrations,
             utilization,
             num_servers: self.config.num_servers,
@@ -438,7 +567,9 @@ impl ClusterSimulation {
     /// VMs stop running, completed migrations are logged with their
     /// transfer cost, newly started transfers get a `MigrationComplete`
     /// event scheduled, and allocation histories of every touched server
-    /// are brought up to date.
+    /// are brought up to date. Victims outside the workload are elastic
+    /// replicas — they have no record, but the autoscaler must drop them
+    /// from its pool (and count the loss).
     #[allow(clippy::too_many_arguments)]
     fn apply_capacity_outcome(
         manager: &ClusterManager,
@@ -449,11 +580,14 @@ impl ClusterSimulation {
         running: &mut [bool],
         migrations: &mut Vec<MigrationEvent>,
         queue: &mut ShardedEventQueue,
+        autoscaler: &mut Option<Autoscaler>,
     ) {
         for &victim in &outcome.victims {
             if let Some(&vi) = index_of.get(&victim) {
                 records[vi].outcome = VmOutcome::Evicted { at_secs: time };
                 running[vi] = false;
+            } else if let Some(autoscaler) = autoscaler.as_mut() {
+                autoscaler.on_replica_evicted(victim);
             }
         }
         for migration in &outcome.migrated {
@@ -729,6 +863,111 @@ mod tests {
                 "{shards}-shard run diverged from the sequential engine"
             );
         }
+    }
+
+    #[test]
+    fn autoscaling_runs_deterministically_and_disabled_is_bit_identical() {
+        let workload = small_workload(120, 43);
+        let servers =
+            crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0))
+                + 2;
+        let schedule = deflate_transient::signal::CapacitySchedule::generate(&TransientConfig {
+            num_servers: servers,
+            transient_fraction: 1.0,
+            duration_secs: 12.0 * 3600.0,
+            profile: CapacityProfile::spot_market_default(),
+            seed: 11,
+        });
+        let app = deflate_autoscale::ElasticApp {
+            app: 0,
+            replica_size: ResourceVector::cpu_mem(4000.0, 8192.0),
+            replica_priority: deflate_core::vm::Priority::new(0.5),
+            replica_rate_rps: 100.0,
+            replica_ids_from: 1_000_000,
+            min_replicas: 2,
+            max_replicas: 12,
+            demand: deflate_autoscale::DemandCurve::Diurnal {
+                base_rps: 150.0,
+                peak_rps: 600.0,
+                period_secs: 4.0 * 3600.0,
+                peak_at_secs: 0.0,
+            },
+            start_secs: 0.0,
+        };
+        let run = |policy: deflate_core::policy::AutoscalePolicy| {
+            ClusterSimulation::new(config(servers), proportional())
+                .with_capacity_schedule(schedule.clone())
+                .with_utilization_ticks(600.0)
+                .with_migrate_back(true)
+                .with_autoscale(policy, vec![app.clone()])
+                .run(&workload)
+        };
+        // Disabled autoscaling is bit-identical to never configuring it.
+        let plain = ClusterSimulation::new(config(servers), proportional())
+            .with_capacity_schedule(schedule.clone())
+            .with_utilization_ticks(600.0)
+            .with_migrate_back(true)
+            .run(&workload);
+        let disabled = run(deflate_core::policy::AutoscalePolicy::Disabled);
+        assert_eq!(plain, disabled);
+        assert_eq!(disabled.autoscale, Default::default());
+        // Enabled policies actually scale, deterministically.
+        for policy in [
+            deflate_core::policy::AutoscalePolicy::target_tracking(),
+            deflate_core::policy::AutoscalePolicy::deflation_aware(),
+        ] {
+            let result = run(policy);
+            assert!(result.autoscale.launches > 0, "{}", policy.name());
+            assert!(result.autoscale.ticks > 0);
+            assert!(result.autoscale.scale_actions() > 0);
+            assert!(result.autoscale.replicas_conserved());
+            // Every surviving replica is still accounted for by the
+            // cluster: conservation holds at the manager level too.
+            assert_eq!(result, run(policy), "{} not deterministic", policy.name());
+        }
+        // The deflation-aware run parks and reinflates.
+        let da = run(deflate_core::policy::AutoscalePolicy::deflation_aware());
+        assert!(da.autoscale.parks > 0);
+        assert!(da.autoscale.reinflations > 0);
+    }
+
+    #[test]
+    fn preemption_baseline_keeps_the_replica_ledger_consistent() {
+        // A deliberately tight preemption-mode cluster: arrivals preempt
+        // residents — including elastic replicas — and every such loss
+        // must reach the autoscaler's books.
+        let workload = small_workload(150, 47);
+        let servers =
+            (crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0))
+                as f64
+                / 1.6)
+                .floor()
+                .max(2.0) as usize;
+        let app = deflate_autoscale::ElasticApp {
+            app: 0,
+            replica_size: ResourceVector::cpu_mem(4000.0, 8192.0),
+            replica_priority: deflate_core::vm::Priority::new(0.2),
+            replica_rate_rps: 100.0,
+            replica_ids_from: 1_000_000,
+            min_replicas: 2,
+            max_replicas: 10,
+            demand: deflate_autoscale::DemandCurve::Constant { rps: 500.0 },
+            start_secs: 0.0,
+        };
+        let result = ClusterSimulation::new(config(servers), ReclamationMode::Preemption)
+            .with_utilization_ticks(600.0)
+            .with_autoscale(
+                deflate_core::policy::AutoscalePolicy::target_tracking(),
+                vec![app],
+            )
+            .run(&workload);
+        let stats = &result.autoscale;
+        assert!(stats.launches > 0);
+        assert!(
+            stats.replicas_lost > 0,
+            "the tight cluster should preempt replicas: {stats:?}"
+        );
+        assert!(stats.replicas_conserved(), "{stats:?}");
     }
 
     #[test]

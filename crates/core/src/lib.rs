@@ -74,8 +74,9 @@ pub mod prelude {
         ServerView, WorstFit,
     };
     pub use crate::policy::{
-        AllocationView, DeflationPolicy, DeterministicDeflation, PriorityDeflation,
-        ProportionalDeflation, ScalarPlan, VectorPlan, VectorPlanner, VmResourceState,
+        AllocationView, AutoscaleParams, AutoscalePolicy, DeflationPolicy, DeterministicDeflation,
+        PriorityDeflation, ProportionalDeflation, RestorePolicy, ScalarPlan, VectorPlan,
+        VectorPlanner, VmResourceState,
     };
     pub use crate::pricing::{PricingPolicy, RateCard};
     pub use crate::resources::{ResourceKind, ResourceVector};

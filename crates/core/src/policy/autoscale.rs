@@ -1,0 +1,158 @@
+//! Cluster-level elastic-autoscaling policy knob.
+//!
+//! The paper's thesis is that VM deflation makes transient capacity safe
+//! for *elastic and interactive* applications (§1, §8): an application
+//! that resizes itself with demand does not have to treat reclaimed
+//! capacity as lost capacity, because deflated VMs can be reinflated the
+//! moment demand (or capacity) returns. The autoscaling subsystem in
+//! `deflate-autoscale` turns that claim into a control loop; this module
+//! holds only the *policy description* — a plain, serialisable knob the
+//! simulator is configured with, mirroring [`TransferPolicy`]'s split
+//! between knob (here) and machinery (`deflate-cluster` /
+//! `deflate-autoscale`).
+//!
+//! [`TransferPolicy`]: crate::policy::TransferPolicy
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning parameters shared by every enabled autoscaling variant.
+///
+/// All time quantities are simulated seconds. The defaults describe a
+/// conservative production-style target tracker: 60 % utilisation
+/// setpoint, five-minute cooldown between scaling actions, a short
+/// actuation delay between a decision and its execution, and a
+/// five-minute boot time for freshly launched replicas — the asymmetry
+/// the deflation-aware variant exploits, since reinflating a deflated
+/// replica is instantaneous.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleParams {
+    /// Target mean application utilisation the tracker steers towards.
+    pub setpoint: f64,
+    /// Half-width of the no-action band around the setpoint: scale-in is
+    /// only considered when utilisation is below `setpoint - deadband`,
+    /// so a signal hovering at the setpoint does not thrash.
+    pub deadband: f64,
+    /// Minimum simulated seconds between two scaling decisions for the
+    /// same application.
+    pub cooldown_secs: f64,
+    /// Delay between a scaling decision (made at a `UtilizationTick`) and
+    /// the `ScaleOut` / `ScaleIn` event that executes it.
+    pub actuation_delay_secs: f64,
+    /// Seconds a freshly *launched* replica takes to boot before it
+    /// serves traffic. Reinflated (previously deflated) replicas skip
+    /// this entirely — they are already booted, which is the paper's
+    /// core elasticity claim applied to scaling.
+    pub boot_secs: f64,
+    /// Fraction of the replica's full allocation a deflation-aware
+    /// scale-in deflates it to instead of terminating it (the "parked"
+    /// state).
+    pub park_fraction: f64,
+    /// Maximum replicas added or removed by one scaling action.
+    pub max_step: usize,
+}
+
+impl Default for AutoscaleParams {
+    fn default() -> Self {
+        AutoscaleParams {
+            setpoint: 0.6,
+            deadband: 0.1,
+            cooldown_secs: 300.0,
+            actuation_delay_secs: 30.0,
+            boot_secs: 300.0,
+            park_fraction: 0.1,
+            max_step: 8,
+        }
+    }
+}
+
+/// How the cluster resizes elastic applications in response to the
+/// per-application utilisation observed at `UtilizationTick` events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum AutoscalePolicy {
+    /// No autoscaling at all — the historical fixed-population behaviour,
+    /// and the default. Runs under `Disabled` are required to be
+    /// bit-identical to runs that predate the autoscaling subsystem
+    /// (pinned by the golden regression tests).
+    #[default]
+    Disabled,
+    /// Launch-only target tracking: scale out by launching new replicas
+    /// (paying the boot time), scale in by terminating them — the policy
+    /// of today's cloud autoscalers.
+    TargetTracking(AutoscaleParams),
+    /// Deflation-aware target tracking: scale-out prefers *reinflating*
+    /// parked (deflated) replicas over launching new ones, and scale-in
+    /// *deflates* replicas instead of terminating them, so the capacity
+    /// can return instantly on the next ramp — the paper's deflation
+    /// claim applied to elasticity.
+    DeflationAware(AutoscaleParams),
+}
+
+impl AutoscalePolicy {
+    /// Launch-only target tracking at the default parameters.
+    pub fn target_tracking() -> Self {
+        AutoscalePolicy::TargetTracking(AutoscaleParams::default())
+    }
+
+    /// Deflation-aware target tracking at the default parameters.
+    pub fn deflation_aware() -> Self {
+        AutoscalePolicy::DeflationAware(AutoscaleParams::default())
+    }
+
+    /// True when the policy performs any scaling at all.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, AutoscalePolicy::Disabled)
+    }
+
+    /// True for the deflation-aware variant (park instead of terminate,
+    /// reinflate instead of launch).
+    pub fn is_deflation_aware(&self) -> bool {
+        matches!(self, AutoscalePolicy::DeflationAware(_))
+    }
+
+    /// The tuning parameters, if the policy is enabled.
+    pub fn params(&self) -> Option<AutoscaleParams> {
+        match self {
+            AutoscalePolicy::Disabled => None,
+            AutoscalePolicy::TargetTracking(p) | AutoscalePolicy::DeflationAware(p) => Some(*p),
+        }
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AutoscalePolicy::Disabled => "disabled",
+            AutoscalePolicy::TargetTracking(_) => "launch-only",
+            AutoscalePolicy::DeflationAware(_) => "deflation-aware",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        assert_eq!(AutoscalePolicy::default(), AutoscalePolicy::Disabled);
+        assert!(!AutoscalePolicy::default().is_enabled());
+        assert!(AutoscalePolicy::default().params().is_none());
+        assert_eq!(AutoscalePolicy::default().name(), "disabled");
+    }
+
+    #[test]
+    fn enabled_variants_expose_params_and_names() {
+        let tt = AutoscalePolicy::target_tracking();
+        assert!(tt.is_enabled());
+        assert!(!tt.is_deflation_aware());
+        assert_eq!(tt.name(), "launch-only");
+        let da = AutoscalePolicy::deflation_aware();
+        assert!(da.is_enabled());
+        assert!(da.is_deflation_aware());
+        assert_eq!(da.name(), "deflation-aware");
+        let p = da.params().unwrap();
+        assert!(p.setpoint > 0.0 && p.setpoint < 1.0);
+        assert!(p.boot_secs > 0.0);
+        assert!(p.park_fraction > 0.0 && p.park_fraction < 1.0);
+        assert!(p.max_step >= 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Capacity-restitution (reinflation) policy knob.
+//!
+//! When the provider returns previously reclaimed capacity, the cluster's
+//! historical behaviour is to **reinflate greedily**: every restitution
+//! immediately hands the whole returned room back to the server's
+//! deflated residents. Under fast-oscillating capacity signals (a
+//! spot-market burst, a tight square wave) this thrashes — residents are
+//! pumped back to full size only to be squeezed again seconds later,
+//! churning allocations (and, with the cache-regrowth model, re-warming
+//! page caches that are about to be dropped again).
+//!
+//! [`RestorePolicy`] adds two hysteresis knobs. Both default to the
+//! greedy behaviour, which is regression-pinned bit-identical to the
+//! pre-knob simulator. The policy applies only to the reinflation
+//! *response to restitution events*; reinflation after departures and
+//! migration completions stays greedy (freed room there is not a signal
+//! edge, so it cannot oscillate).
+
+use serde::{Deserialize, Serialize};
+
+/// How a server's residents are reinflated after a capacity restitution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RestorePolicy {
+    /// Minimum simulated seconds since the server's last *reclamation*
+    /// before a restitution triggers reinflation at all. A restitution
+    /// arriving earlier raises the capacity (arrivals can use the room)
+    /// but leaves residents deflated — if the signal is oscillating, the
+    /// next reclamation finds nothing to squeeze back down. `0.0`
+    /// (default) reinflates on every restitution.
+    pub hysteresis_secs: f64,
+    /// Fraction of the server's free room one restitution hands back to
+    /// residents (spread-out reinflation). `1.0` (default) is the greedy
+    /// full hand-back; `0.5` returns half per event, so full size is
+    /// approached geometrically over consecutive restitutions and a
+    /// single spike reinflates almost nothing.
+    pub step_fraction: f64,
+}
+
+impl Default for RestorePolicy {
+    fn default() -> Self {
+        RestorePolicy::greedy()
+    }
+}
+
+impl RestorePolicy {
+    /// The historical behaviour: every restitution immediately reinflates
+    /// residents into the whole returned room. Bit-identical to the
+    /// simulator before the knob existed.
+    pub fn greedy() -> Self {
+        RestorePolicy {
+            hysteresis_secs: 0.0,
+            step_fraction: 1.0,
+        }
+    }
+
+    /// Hysteresis-only variant: ignore restitutions within
+    /// `hysteresis_secs` of the last reclamation, reinflate fully
+    /// otherwise.
+    pub fn hysteresis(hysteresis_secs: f64) -> Self {
+        RestorePolicy {
+            hysteresis_secs: hysteresis_secs.max(0.0),
+            step_fraction: 1.0,
+        }
+    }
+
+    /// Spread-out variant: reinflate `step_fraction` of the free room per
+    /// restitution event.
+    pub fn spread(step_fraction: f64) -> Self {
+        RestorePolicy {
+            hysteresis_secs: 0.0,
+            step_fraction: step_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// True when this policy is exactly the greedy default (no hysteresis,
+    /// full step) — the configuration whose behaviour is pinned.
+    pub fn is_greedy(&self) -> bool {
+        self.hysteresis_secs <= 0.0 && self.step_fraction >= 1.0
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(&self) -> String {
+        if self.is_greedy() {
+            "greedy".to_string()
+        } else if self.step_fraction >= 1.0 {
+            format!("hysteresis({:.0}s)", self.hysteresis_secs)
+        } else if self.hysteresis_secs <= 0.0 {
+            format!("spread({:.2})", self.step_fraction)
+        } else {
+            format!(
+                "hysteresis({:.0}s)+spread({:.2})",
+                self.hysteresis_secs, self.step_fraction
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_greedy() {
+        assert_eq!(RestorePolicy::default(), RestorePolicy::greedy());
+        assert!(RestorePolicy::default().is_greedy());
+        assert_eq!(RestorePolicy::default().name(), "greedy");
+    }
+
+    #[test]
+    fn variants_and_names() {
+        let h = RestorePolicy::hysteresis(120.0);
+        assert!(!h.is_greedy());
+        assert_eq!(h.name(), "hysteresis(120s)");
+        let s = RestorePolicy::spread(0.5);
+        assert!(!s.is_greedy());
+        assert_eq!(s.name(), "spread(0.50)");
+        let both = RestorePolicy {
+            hysteresis_secs: 60.0,
+            step_fraction: 0.25,
+        };
+        assert_eq!(both.name(), "hysteresis(60s)+spread(0.25)");
+        // Clamps.
+        assert!(RestorePolicy::hysteresis(-5.0).is_greedy());
+        assert_eq!(RestorePolicy::spread(7.0).step_fraction, 1.0);
+    }
+}

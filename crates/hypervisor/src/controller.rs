@@ -205,8 +205,22 @@ impl LocalController {
     }
 
     /// Reinflate resident VMs using whatever capacity is currently free.
+    /// Domains *parked* by the autoscaler (deflated instead of terminated)
+    /// are skipped — their deflation is deliberate and must stick until
+    /// the autoscaler unparks them.
     pub fn reinflate(&mut self) {
-        let free = self.server.free();
+        self.reinflate_fraction(1.0);
+    }
+
+    /// Reinflate residents into only `fraction` of the currently free
+    /// capacity — the spread-out half of the restore-hysteresis policy.
+    /// `1.0` is the full greedy hand-back of [`reinflate`](Self::reinflate).
+    pub fn reinflate_partial(&mut self, fraction: f64) {
+        self.reinflate_fraction(fraction.clamp(0.0, 1.0));
+    }
+
+    fn reinflate_fraction(&mut self, fraction: f64) {
+        let free = self.server.free() * fraction;
         if free.is_zero() {
             return;
         }
@@ -215,7 +229,7 @@ impl LocalController {
             .domains()
             .map(|d| (d.spec.id, d.effective_allocation()))
             .collect();
-        let domains: Vec<_> = self.server.domains().collect();
+        let domains: Vec<_> = self.server.domains().filter(|d| !d.is_parked()).collect();
         let plan = VectorPlanner::plan(self.policy.as_ref(), &domains, -free);
         let targets = plan.targets.clone();
         drop(domains);
@@ -364,6 +378,55 @@ mod tests {
         // A reclaim the free space already covers deflates nobody.
         c.server_mut().set_capacity(full);
         assert!(c.deflate_into_capacity().is_zero());
+    }
+
+    #[test]
+    fn parked_domains_are_skipped_by_reinflation() {
+        let mut c = controller();
+        c.try_admit(vm(1, 8.0, 8192.0)).unwrap();
+        c.try_admit(vm(2, 8.0, 8192.0)).unwrap();
+        // Park VM 1 at 10 % of its allocation.
+        let d1 = c.server_mut().domain_mut(VmId(1)).unwrap();
+        let target = d1.spec.max_allocation * 0.1;
+        d1.deflate_to(target);
+        d1.set_parked(true);
+        // A full reinflation pass must not grow the parked domain.
+        c.reinflate();
+        let d1 = c.server().domain(VmId(1)).unwrap();
+        assert!(d1.effective_allocation().cpu() <= 0.1 * d1.spec.max_allocation.cpu() + 1e-6);
+        // Unparking makes the next pass restore it.
+        c.server_mut()
+            .domain_mut(VmId(1))
+            .unwrap()
+            .set_parked(false);
+        c.reinflate();
+        let d1 = c.server().domain(VmId(1)).unwrap();
+        assert_eq!(d1.effective_allocation(), d1.spec.max_allocation);
+    }
+
+    #[test]
+    fn partial_reinflation_returns_only_a_fraction_of_the_room() {
+        let mut c = controller();
+        c.try_admit(vm(1, 16.0, 16_384.0)).unwrap();
+        // Deflate to half, then hand back only a quarter of the free room.
+        let d1 = c.server_mut().domain_mut(VmId(1)).unwrap();
+        let half = d1.spec.max_allocation * 0.5;
+        d1.deflate_to(half);
+        c.reinflate_partial(0.25);
+        let cpu = c
+            .server()
+            .domain(VmId(1))
+            .unwrap()
+            .effective_allocation()
+            .cpu();
+        // Free room was 8000 millicores; a quarter of it is 2000.
+        assert!((cpu - 10_000.0).abs() < 1e-6, "cpu after partial: {cpu}");
+        // A full pass finishes the job.
+        c.reinflate();
+        assert_eq!(
+            c.server().domain(VmId(1)).unwrap().effective_allocation(),
+            c.server().domain(VmId(1)).unwrap().spec.max_allocation
+        );
     }
 
     #[test]

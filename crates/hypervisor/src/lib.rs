@@ -35,7 +35,7 @@ pub mod migration;
 pub mod server;
 
 pub use controller::{AdmissionOutcome, DeflationNotification, LocalController};
-pub use domain::{DeflationMechanism, DeflationOutcome, Domain};
+pub use domain::{CacheRegrowthModel, DeflationMechanism, DeflationOutcome, Domain};
 pub use guest::{GuestOs, HotplugOutcome, MEMORY_BLOCK_MB};
 pub use migration::MigrationCostModel;
 pub use server::SimServer;
@@ -44,7 +44,7 @@ pub use server::SimServer;
 pub mod prelude {
     pub use crate::cgroups::{CgroupController, CgroupSet};
     pub use crate::controller::{AdmissionOutcome, DeflationNotification, LocalController};
-    pub use crate::domain::{DeflationMechanism, DeflationOutcome, Domain};
+    pub use crate::domain::{CacheRegrowthModel, DeflationMechanism, DeflationOutcome, Domain};
     pub use crate::guest::{GuestOs, HotplugOutcome};
     pub use crate::migration::MigrationCostModel;
     pub use crate::server::SimServer;

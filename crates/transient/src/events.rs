@@ -52,6 +52,23 @@ pub enum SimEvent {
     },
     /// A VM (index into the workload) arrives.
     Arrival(usize),
+    /// The autoscaler executes a previously decided scale-out for one
+    /// elastic application: reinflate parked replicas and/or launch new
+    /// ones. Decisions are made at `UtilizationTick`s and actuated after
+    /// the policy's actuation delay, so the event carries only the
+    /// application id — the actuator recomputes the desired replica count
+    /// from the (deterministic) demand signal at delivery time.
+    ScaleOut {
+        /// Elastic application being scaled.
+        app: u32,
+    },
+    /// The autoscaler executes a previously decided scale-in for one
+    /// elastic application: terminate replicas (launch-only policy) or
+    /// deflate them into the parked state (deflation-aware policy).
+    ScaleIn {
+        /// Elastic application being scaled.
+        app: u32,
+    },
     /// Periodic sampling point for cluster-utilisation metrics.
     UtilizationTick,
 }
@@ -61,8 +78,13 @@ impl SimEvent {
     /// (they free capacity), then migration completions (they free the
     /// source server's share of an in-flight VM), then capacity
     /// restitutions (more room), then reclamations (so simultaneous
-    /// arrivals see the reduced capacity), then arrivals, then metric ticks
-    /// (which observe the settled state).
+    /// arrivals see the reduced capacity), then arrivals, then autoscale
+    /// actions (scale-outs before scale-ins, both after arrivals so the
+    /// actuator sees the settled population), then metric ticks (which
+    /// observe the settled state). The relative order of the pre-autoscale
+    /// kinds is unchanged from before scale events existed, so runs that
+    /// never schedule them — every `AutoscalePolicy::Disabled` run — are
+    /// bit-identical to the engine that predates them.
     fn rank(&self) -> u8 {
         match self {
             SimEvent::Departure(_) => 0,
@@ -70,13 +92,16 @@ impl SimEvent {
             SimEvent::CapacityRestore { .. } => 2,
             SimEvent::CapacityReclaim { .. } => 3,
             SimEvent::Arrival(_) => 4,
-            SimEvent::UtilizationTick => 5,
+            SimEvent::ScaleOut { .. } => 5,
+            SimEvent::ScaleIn { .. } => 6,
+            SimEvent::UtilizationTick => 7,
         }
     }
 
     /// Entity id used as the final tie-break among same-kind events at the
     /// same timestamp: the workload index for VM events, the server id for
-    /// capacity events, the migration id for migration completions.
+    /// capacity events, the migration id for migration completions, the
+    /// application id for autoscale actions.
     fn tie_id(&self) -> u64 {
         match self {
             SimEvent::Arrival(i) | SimEvent::Departure(i) => *i as u64,
@@ -84,6 +109,7 @@ impl SimEvent {
                 server.0 as u64
             }
             SimEvent::MigrationComplete { migration } => *migration,
+            SimEvent::ScaleOut { app } | SimEvent::ScaleIn { app } => *app as u64,
             SimEvent::UtilizationTick => 0,
         }
     }
@@ -178,9 +204,10 @@ impl PartialOrd for Scheduled {
 ///
 /// Events at equal timestamps are delivered in a fixed kind order
 /// (departures, then migration completions, capacity restitutions,
-/// reclamations, arrivals, utilisation ticks) with entity ids breaking
-/// remaining ties, so replaying the same schedule always produces the same
-/// sequence regardless of the order events were pushed in.
+/// reclamations, arrivals, scale-outs, scale-ins, utilisation ticks) with
+/// entity ids breaking remaining ties, so replaying the same schedule
+/// always produces the same sequence regardless of the order events were
+/// pushed in.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
@@ -281,6 +308,8 @@ mod tests {
         );
         q.push(5.0, SimEvent::Arrival(1));
         q.push(5.0, SimEvent::MigrationComplete { migration: 7 });
+        q.push(5.0, SimEvent::ScaleIn { app: 0 });
+        q.push(5.0, SimEvent::ScaleOut { app: 3 });
         let order: Vec<(f64, SimEvent)> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(
             order,
@@ -303,6 +332,8 @@ mod tests {
                 ),
                 (5.0, SimEvent::Arrival(1)),
                 (5.0, SimEvent::Arrival(2)),
+                (5.0, SimEvent::ScaleOut { app: 3 }),
+                (5.0, SimEvent::ScaleIn { app: 0 }),
                 (5.0, SimEvent::UtilizationTick),
                 (10.0, SimEvent::Arrival(5)),
             ]

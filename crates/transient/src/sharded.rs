@@ -11,10 +11,11 @@
 //!   a pure function of the event itself ([`ShardedEventQueue::route`]):
 //!   capacity events go to the shard owning their server, VM
 //!   arrivals/departures to the shard owning their workload slot,
-//!   migration completions to the shard of their migration id, and
-//!   cluster-wide utilisation ticks to shard 0 (the coordinator's own
-//!   shard). Routing affects only *which heap holds an event*, never the
-//!   order it is delivered in.
+//!   migration completions to the shard of their migration id, autoscale
+//!   actions to the shard of their application id, and cluster-wide
+//!   utilisation ticks to shard 0 (the coordinator's own shard). Routing
+//!   affects only *which heap holds an event*, never the order it is
+//!   delivered in.
 //! * **Parallel construction** — [`ShardedEventQueue::build`] heapifies
 //!   each shard's slice of the pre-scheduled events on its own
 //!   `std::thread` worker, turning the start-of-run `O(N log N)` pass
@@ -151,6 +152,12 @@ impl ShardedEventQueue {
             // have no home server spanning both endpoints; spread them
             // round-robin so no shard's heap collects every completion.
             SimEvent::MigrationComplete { migration } => (*migration as usize) % self.config.shards,
+            // Elastic applications have no home server either (their
+            // replicas spread across the cluster); spread their scale
+            // actions round-robin by application id.
+            SimEvent::ScaleOut { app } | SimEvent::ScaleIn { app } => {
+                (*app as usize) % self.config.shards
+            }
             // Cluster-wide events belong to the coordinator's own shard.
             SimEvent::UtilizationTick => 0,
         }
@@ -242,6 +249,18 @@ mod tests {
                 t,
                 SimEvent::MigrationComplete {
                     migration: i as u64,
+                },
+            ));
+            events.push((
+                t + 0.5,
+                SimEvent::ScaleOut {
+                    app: (i % 3) as u32,
+                },
+            ));
+            events.push((
+                t + 0.5,
+                SimEvent::ScaleIn {
+                    app: (i % 4) as u32,
                 },
             ));
             if i % 5 == 0 {

@@ -13,9 +13,11 @@
 //! * [`traces`] — synthetic Azure/Alibaba trace generators and feasibility analysis.
 //! * [`appsim`] — request-level application and load-balancer simulators.
 //! * [`transient`] — provider-side capacity signals and the typed simulation event engine.
+//! * [`autoscale`] — deflation-aware elastic autoscaling of replica pools.
 //! * [`cluster`] — cluster manager, local controllers and the discrete-event simulator.
 
 pub use deflate_appsim as appsim;
+pub use deflate_autoscale as autoscale;
 pub use deflate_cluster as cluster;
 pub use deflate_core as core;
 pub use deflate_hypervisor as hypervisor;

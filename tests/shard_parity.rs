@@ -113,6 +113,79 @@ fn fig_scheduler_rows_are_bit_identical_across_shards() {
     }
 }
 
+/// Autoscale-enabled runs are bit-identical across shard counts too: the
+/// autoscaler's decisions, scale events and stats all happen at the
+/// coordinator in the engine's global event order, and `SimResult`'s
+/// equality covers the full `AutoscaleStats` (latency samples included).
+/// Pinned on the exact quick-scale `fig_autoscale` configurations.
+#[test]
+fn fig_autoscale_rows_are_bit_identical_across_shards() {
+    use deflate_bench::autoscale_exp::{autoscale_profiles, AutoscaleVariant};
+    use vmdeflate::cluster::spec::{paper_server_capacity, servers_for_transient_overcommitment};
+    let scale = Scale::Quick;
+    let workload = transient_workload(scale);
+    for profile in autoscale_profiles() {
+        for variant in AutoscaleVariant::ALL {
+            let app = deflate_bench::autoscale_exp::elastic_app();
+            let capacity = paper_server_capacity();
+            let background = servers_for_transient_overcommitment(
+                &workload,
+                capacity,
+                0.0,
+                profile.mean_availability(),
+            );
+            let elastic =
+                (app.max_replicas as f64 * app.replica_size.cpu() / capacity.cpu()).ceil() as usize;
+            let servers = background + elastic;
+            let schedule = CapacitySchedule::generate(&TransientConfig {
+                num_servers: servers,
+                transient_fraction: 1.0,
+                duration_secs: scale.cluster_trace_hours() * 3600.0,
+                profile,
+                seed: scale.seed(),
+            });
+            let config = ClusterConfig {
+                num_servers: servers,
+                server_capacity: capacity,
+                placement: PlacementKind::CosineFitness,
+                partitions: PartitionScheme::None,
+                mechanism: DeflationMechanism::Transparent,
+            };
+            let run = |shards: usize| {
+                ClusterSimulation::new(
+                    config.clone(),
+                    ReclamationMode::Deflation(std::sync::Arc::new(
+                        ProportionalDeflation::default(),
+                    )),
+                )
+                .with_capacity_schedule(schedule.clone())
+                .with_migrate_back(true)
+                .with_migration_cost(default_migration_cost())
+                .with_utilization_ticks(deflate_bench::autoscale_exp::AUTOSCALE_TICK_SECS)
+                .with_autoscale(variant.policy(), vec![app.clone()])
+                .with_shards(ShardConfig::with_shards(shards))
+                .run(&workload)
+            };
+            let sequential = run(1);
+            assert!(
+                sequential.autoscale.scale_actions() > 0,
+                "parity would be vacuous without scaling activity"
+            );
+            for shards in [2, 4] {
+                let sharded = run(shards);
+                assert_eq!(
+                    sequential,
+                    sharded,
+                    "fig_autoscale {} / {} diverged at {} shards",
+                    profile.name(),
+                    variant.name(),
+                    shards
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
