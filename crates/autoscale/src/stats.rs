@@ -96,6 +96,35 @@ impl AutoscaleStats {
         self.launches
             == self.retirements + self.replicas_lost + self.final_active + self.final_parked
     }
+
+    /// Publish the run's autoscaling accounting into the telemetry
+    /// metrics registry (no-op when the metrics sink is off). Called once
+    /// at the end of a run with the final stats.
+    pub fn publish_metrics(&self, telemetry: &deflate_telemetry::TelemetrySink) {
+        if !telemetry.enabled() {
+            return;
+        }
+        telemetry.count("autoscale.scale_out_actions", self.scale_out_actions as u64);
+        telemetry.count("autoscale.scale_in_actions", self.scale_in_actions as u64);
+        telemetry.count("autoscale.launches", self.launches as u64);
+        telemetry.count("autoscale.launch_failures", self.launch_failures as u64);
+        telemetry.count("autoscale.reinflations", self.reinflations as u64);
+        telemetry.count("autoscale.parks", self.parks as u64);
+        telemetry.count("autoscale.retirements", self.retirements as u64);
+        telemetry.count("autoscale.replicas_lost", self.replicas_lost as u64);
+        telemetry.count("autoscale.ticks", self.ticks as u64);
+        telemetry.count("autoscale.overload_ticks", self.overload_ticks as u64);
+        telemetry.gauge_set("autoscale.mean_setpoint_error", self.mean_setpoint_error());
+        telemetry.gauge_set("autoscale.p99_latency_secs", self.p99_latency_secs());
+        // The full latency distribution, not just the summary gauges:
+        // samples land in the registry's default duration buckets.
+        for &secs in self.latency.response_times() {
+            telemetry.observe("autoscale.latency_secs", secs);
+        }
+        telemetry.gauge_set("autoscale.slo_fraction", self.slo_fraction());
+        telemetry.gauge_set("autoscale.final_active", self.final_active as f64);
+        telemetry.gauge_set("autoscale.final_parked", self.final_parked as f64);
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +154,32 @@ mod tests {
         assert!(s.replicas_conserved());
         s.final_parked = 0;
         assert!(!s.replicas_conserved());
+    }
+
+    #[test]
+    fn publish_lands_in_the_registry() {
+        use deflate_telemetry::{TelemetrySink, TelemetrySpec};
+        let mut stats = AutoscaleStats {
+            launches: 5,
+            parks: 2,
+            ticks: 8,
+            ..Default::default()
+        };
+        stats.latency.record_served(0.2);
+        stats.latency.record_served(0.9);
+        let sink = TelemetrySink::in_memory(&TelemetrySpec::profiling());
+        stats.publish_metrics(&sink);
+        let snap = sink.report().metrics;
+        assert_eq!(snap.counter("autoscale.launches"), 5);
+        assert_eq!(snap.counter("autoscale.parks"), 2);
+        assert_eq!(snap.gauge("autoscale.slo_fraction"), Some(1.0));
+        let hist = snap
+            .histogram("autoscale.latency_secs")
+            .expect("latency histogram published");
+        assert_eq!(hist.count, 2);
+        assert!((hist.sum - 1.1).abs() < 1e-9);
+        // disabled sink: publish is a no-op, not a panic
+        stats.publish_metrics(&TelemetrySink::disabled());
     }
 
     #[test]

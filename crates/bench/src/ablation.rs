@@ -3,7 +3,7 @@
 //! partitioning, and the deflation mechanism (transparent vs explicit vs
 //! hybrid).
 
-use crate::report::{f3, pct, Table};
+use crate::report::{f3, pct, FigureTimer, RuntimeTally, Table, TallyRunStats};
 use crate::scale::Scale;
 use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
 use deflate_cluster::sim::ClusterSimulation;
@@ -23,6 +23,7 @@ pub fn placement_ablation(scale: Scale) -> Table {
     let workload = crate::cluster_exp::cluster_workload(scale, MinAllocationRule::None);
     let capacity = paper_server_capacity();
     let servers = servers_for_overcommitment(&workload, capacity, 0.5);
+    let mut tally = RuntimeTally::default();
     let mut table = Table::new(
         "Ablation: placement heuristic at 50% overcommitment",
         &[
@@ -47,6 +48,7 @@ pub fn placement_ablation(scale: Scale) -> Table {
         };
         let mode = ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default()));
         let result = ClusterSimulation::new(config, mode).run(&workload);
+        tally.add(result.runtime);
         table.row(&[
             placement.name().to_string(),
             pct(result.failure_probability()),
@@ -54,6 +56,7 @@ pub fn placement_ablation(scale: Scale) -> Table {
             pct(result.deflated_vm_fraction()),
         ]);
     }
+    table.set_footer(tally.footer());
     table
 }
 
@@ -63,6 +66,7 @@ pub fn partition_ablation(scale: Scale) -> Table {
     let workload = crate::cluster_exp::cluster_workload(scale, MinAllocationRule::PriorityTimesMax);
     let capacity = paper_server_capacity();
     let servers = servers_for_overcommitment(&workload, capacity, 0.5);
+    let mut tally = RuntimeTally::default();
     let mut table = Table::new(
         "Ablation: cluster partitioning at 50% overcommitment (priority policy)",
         &["partitions", "failure probability", "throughput loss"],
@@ -81,12 +85,14 @@ pub fn partition_ablation(scale: Scale) -> Table {
         };
         let mode = ReclamationMode::Deflation(Arc::new(PriorityDeflation::default()));
         let result = ClusterSimulation::new(config, mode).run(&workload);
+        tally.add(result.runtime);
         table.row(&[
             label.to_string(),
             pct(result.failure_probability()),
             pct(result.mean_throughput_loss()),
         ]);
     }
+    table.set_footer(tally.footer());
     table
 }
 
@@ -94,6 +100,7 @@ pub fn partition_ablation(scale: Scale) -> Table {
 /// each mechanism reach the requested allocation (granularity error) and how
 /// much memory pressure does it leave behind?
 pub fn mechanism_ablation() -> Table {
+    let timer = FigureTimer::start();
     let spec = VmSpec::deflatable(
         VmId(1),
         VmClass::Interactive,
@@ -132,7 +139,7 @@ pub fn mechanism_ablation() -> Table {
             ]);
         }
     }
-    table
+    timer.wrap(table)
 }
 
 #[cfg(test)]

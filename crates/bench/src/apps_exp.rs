@@ -2,7 +2,7 @@
 //! deflation of SpecJBB / Kcompile / Memcached) and Figure 14 (SpecJBB memory
 //! deflation, transparent vs hybrid).
 
-use crate::report::{f3, pct, Table};
+use crate::report::{f3, pct, FigureTimer, Table};
 use deflate_appsim::apps::{ApplicationProfile, SpecJbbMemoryExperiment};
 
 /// Deflation levels for Figure 3 (0–100 % in 10 % steps).
@@ -14,6 +14,7 @@ pub const FIG14_LEVELS: [f64; 10] = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.
 /// Figure 3: normalized performance of the three applications when all
 /// resources are deflated in the same proportion.
 pub fn fig03() -> Table {
+    let timer = FigureTimer::start();
     let apps = ApplicationProfile::figure3_applications();
     let mut table = Table::new(
         "Figure 3: application performance under uniform deflation",
@@ -27,7 +28,7 @@ pub fn fig03() -> Table {
             f3(apps[2].performance(d)),
         ]);
     }
-    table
+    timer.wrap(table)
 }
 
 /// Raw Figure 3 series: `(deflation, [specjbb, kcompile, memcached])`.
@@ -51,6 +52,7 @@ pub fn fig03_series() -> Vec<(f64, [f64; 3])> {
 /// Figure 14: SpecJBB 2015 mean response time (normalized to no deflation)
 /// under transparent vs hybrid memory deflation.
 pub fn fig14() -> Table {
+    let timer = FigureTimer::start();
     let exp = SpecJbbMemoryExperiment::default();
     let mut table = Table::new(
         "Figure 14: SpecJBB response time under memory deflation",
@@ -59,7 +61,7 @@ pub fn fig14() -> Table {
     for (d, transparent, hybrid) in exp.sweep(&FIG14_LEVELS) {
         table.row(&[pct(d), f3(transparent), f3(hybrid)]);
     }
-    table
+    timer.wrap(table)
 }
 
 /// Raw Figure 14 series: `(deflation, transparent RT, hybrid RT)`.

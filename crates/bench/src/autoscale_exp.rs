@@ -22,7 +22,7 @@
 //! reclamations — deflation-aware elasticity wins on tail latency because
 //! ramps are served from parked capacity instead of cold boots.
 
-use crate::report::{pct, RuntimeTally, Table};
+use crate::report::{pct, RuntimeTally, Table, TallyRunStats};
 use crate::scale::Scale;
 use crate::transient_exp::{default_migration_cost, transient_workload};
 use deflate_autoscale::{AutoscalePolicy, DemandCurve, ElasticApp};

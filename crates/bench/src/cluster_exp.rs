@@ -2,7 +2,7 @@
 //! (reclamation-failure probability), Figure 21 (throughput loss) and
 //! Figure 22 (revenue increase), all as a function of cluster overcommitment.
 
-use crate::report::{pct, RuntimeTally, Table};
+use crate::report::{pct, RuntimeTally, Table, TallyRunStats};
 use crate::scale::Scale;
 use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
 use deflate_cluster::metrics::SimResult;

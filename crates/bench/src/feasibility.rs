@@ -1,7 +1,7 @@
 //! Experiments reproducing the feasibility analysis of §3.2
 //! (Figures 5–12).
 
-use crate::report::{pct, Table};
+use crate::report::{pct, FigureTimer, Table};
 use crate::scale::Scale;
 use deflate_traces::alibaba::{AlibabaTraceConfig, AlibabaTraceGenerator, ContainerTrace};
 use deflate_traces::analysis::{self, FeasibilityPoint};
@@ -50,68 +50,74 @@ fn feasibility_table(title: &str, rows: &[(String, Vec<FeasibilityPoint>)]) -> T
 /// Figure 5: fraction of time VMs' CPU usage exceeds the deflated allocation,
 /// across the whole population.
 pub fn fig05(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let vms = azure_population(scale);
     let points = analysis::cpu_feasibility(&vms, &LEVELS);
-    feasibility_table(
+    timer.wrap(feasibility_table(
         "Figure 5: CPU deflation feasibility (all VMs)",
         &[("all".to_string(), points)],
-    )
+    ))
 }
 
 /// Figure 6: the same breakdown by workload class.
 pub fn fig06(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let vms = azure_population(scale);
     let rows: Vec<(String, Vec<FeasibilityPoint>)> =
         analysis::cpu_feasibility_by_class(&vms, &LEVELS)
             .into_iter()
             .map(|(class, points)| (class.to_string(), points))
             .collect();
-    feasibility_table(
+    timer.wrap(feasibility_table(
         "Figure 6: CPU deflation feasibility by workload class",
         &rows,
-    )
+    ))
 }
 
 /// Figure 7: breakdown by VM memory size.
 pub fn fig07(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let vms = azure_population(scale);
     let rows: Vec<(String, Vec<FeasibilityPoint>)> =
         analysis::cpu_feasibility_by_size(&vms, &LEVELS)
             .into_iter()
             .map(|(size, points)| (size.label().to_string(), points))
             .collect();
-    feasibility_table(
+    timer.wrap(feasibility_table(
         "Figure 7: CPU deflation feasibility by VM memory size",
         &rows,
-    )
+    ))
 }
 
 /// Figure 8: breakdown by 95th-percentile CPU usage.
 pub fn fig08(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let vms = azure_population(scale);
     let rows: Vec<(String, Vec<FeasibilityPoint>)> =
         analysis::cpu_feasibility_by_peak(&vms, &LEVELS)
             .into_iter()
             .map(|(peak, points)| (peak.label().to_string(), points))
             .collect();
-    feasibility_table(
+    timer.wrap(feasibility_table(
         "Figure 8: CPU deflation feasibility by 95th-percentile CPU usage",
         &rows,
-    )
+    ))
 }
 
 /// Figure 9: memory-occupancy deflation feasibility (Alibaba containers).
 pub fn fig09(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let containers = alibaba_population(scale);
     let points = analysis::memory_feasibility(&containers, &LEVELS);
-    feasibility_table(
+    timer.wrap(feasibility_table(
         "Figure 9: memory usage of applications (time above deflated allocation)",
         &[("containers".to_string(), points)],
-    )
+    ))
 }
 
 /// Figure 10: memory-bandwidth usage distribution.
 pub fn fig10(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let containers = alibaba_population(scale);
     let summary = analysis::memory_bandwidth_usage(&containers);
     let mut table = Table::new(
@@ -124,27 +130,29 @@ pub fn fig10(scale: Scale) -> Table {
     table.row(&["q3".into(), pct(summary.q3)]);
     table.row(&["max".into(), pct(summary.max)]);
     table.row(&["mean".into(), pct(summary.mean)]);
-    table
+    timer.wrap(table)
 }
 
 /// Figure 11: disk-bandwidth deflation feasibility.
 pub fn fig11(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let containers = alibaba_population(scale);
     let points = analysis::disk_feasibility(&containers, &LEVELS);
-    feasibility_table(
+    timer.wrap(feasibility_table(
         "Figure 11: disk bandwidth deflation feasibility",
         &[("containers".to_string(), points)],
-    )
+    ))
 }
 
 /// Figure 12: network-bandwidth deflation feasibility.
 pub fn fig12(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let containers = alibaba_population(scale);
     let points = analysis::network_feasibility(&containers, &LEVELS);
-    feasibility_table(
+    timer.wrap(feasibility_table(
         "Figure 12: network bandwidth deflation feasibility",
         &[("containers".to_string(), points)],
-    )
+    ))
 }
 
 #[cfg(test)]

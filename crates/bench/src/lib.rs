@@ -18,6 +18,7 @@
 //! | [`transient_exp`] | transient-capacity reclamation comparison + migration-bandwidth sweep + transfer-scheduler sweep |
 //! | [`autoscale_exp`] | elastic autoscaling under transient capacity: launch-only vs deflation-aware (`fig_autoscale`) |
 //! | [`scale_exp`] | engine-scaling sweep: cluster size × shard count (`fig_scale`) |
+//! | [`profile_exp`] | engine phase profile: per-phase self time + Chrome trace (`fig_profile`) |
 //! | [`ablation`] | placement / partition / mechanism ablations |
 //!
 //! Beyond the paper's figures, the transient experiments charge every live
@@ -40,6 +41,7 @@ pub mod apps_exp;
 pub mod autoscale_exp;
 pub mod cluster_exp;
 pub mod feasibility;
+pub mod profile_exp;
 pub mod report;
 pub mod scale;
 pub mod scale_exp;

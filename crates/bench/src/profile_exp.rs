@@ -1,0 +1,281 @@
+//! The engine-profiling experiment (`fig_profile`): where does the
+//! simulator spend its wall clock?
+//!
+//! Replays the `fig_scale` spot-market scenario (same workload, sizes,
+//! and knobs) with the `deflate-telemetry` phase profiler enabled and
+//! prints a per-phase self-time table per cluster size — the
+//! before-picture for ROADMAP item 1 ("break the placement bottleneck"):
+//! `placement_rank` is attributed separately from the rest of arrival
+//! handling, so a future placement rewrite can be judged against these
+//! rows. A Chrome `trace_event` file (openable in Perfetto /
+//! `chrome://tracing`) is written per run; `DEFLATE_TRACE_OUT` overrides
+//! the output path, which otherwise lands in the system temp directory.
+//!
+//! The binary enforces the observability acceptance contract and exits
+//! non-zero when it breaks: attributed phases must cover ≥ 90 % of the
+//! engine total (the profiler's "other" bucket stays small), the
+//! placement-ranking phase must be separately attributed, and the
+//! written Chrome trace must validate (parseable JSON array, matched
+//! begin/end pairs).
+
+use crate::report::{secs, RuntimeTally, Table, TallyRunStats};
+use crate::scale::Scale;
+use crate::scale_exp::{run_scale_cell_with_telemetry, scale_workload};
+use deflate_core::shard::ShardConfig;
+use deflate_telemetry::{
+    validate_chrome_trace, ChromeTraceStats, Phase, TelemetryReport, TelemetrySink, TelemetrySpec,
+};
+use std::path::PathBuf;
+
+/// Fraction of the engine total the attributed phases must cover.
+pub const COVERAGE_FLOOR: f64 = 0.90;
+
+/// The shard count the profile runs under: 2, so the coordinator/worker
+/// split (heapify, utilisation sampling) shows up in the per-shard rows
+/// without drowning a small CI host.
+pub const PROFILE_SHARDS: usize = 2;
+
+/// One profiled run of the spot-market scenario.
+#[derive(Debug)]
+pub struct ProfileRun {
+    /// VMs in the replayed trace.
+    pub vms: usize,
+    /// Servers the cluster was sized to.
+    pub servers: usize,
+    /// Engine shard count.
+    pub shards: usize,
+    /// Events the engine delivered.
+    pub events: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_clock_secs: f64,
+    /// Everything the sink collected (phase report, metrics, trace
+    /// counters).
+    pub report: TelemetryReport,
+    /// Validation result for the written Chrome trace.
+    pub trace: Result<ChromeTraceStats, String>,
+    /// Where the Chrome trace was written.
+    pub trace_path: PathBuf,
+}
+
+impl ProfileRun {
+    /// Fraction of the engine total covered by attributed phases (`None`
+    /// before any run).
+    pub fn coverage(&self) -> Option<f64> {
+        self.report.phases.coverage()
+    }
+
+    /// True when this run satisfies the acceptance contract: coverage at
+    /// or above [`COVERAGE_FLOOR`], `placement_rank` separately
+    /// attributed (non-zero count), and a valid Chrome trace.
+    pub fn accepted(&self) -> bool {
+        self.coverage().is_some_and(|c| c >= COVERAGE_FLOOR)
+            && self.placement_rank_attributed()
+            && self.trace.is_ok()
+    }
+
+    /// True when the placement-ranking phase was entered at least once —
+    /// the attribution ROADMAP item 1 is judged against.
+    pub fn placement_rank_attributed(&self) -> bool {
+        self.report
+            .phases
+            .phases
+            .iter()
+            .any(|row| row.phase == Phase::PlacementRank && row.count > 0)
+    }
+
+    /// Human-readable reasons this run fails acceptance (empty when
+    /// [`accepted`](Self::accepted)).
+    pub fn failures(&self) -> Vec<String> {
+        let mut reasons = Vec::new();
+        match self.coverage() {
+            Some(c) if c >= COVERAGE_FLOOR => {}
+            Some(c) => reasons.push(format!(
+                "phase coverage {:.1}% below the {:.0}% floor at {} VMs",
+                100.0 * c,
+                100.0 * COVERAGE_FLOOR,
+                self.vms
+            )),
+            None => reasons.push(format!("no phases profiled at {} VMs", self.vms)),
+        }
+        if !self.placement_rank_attributed() {
+            reasons.push(format!(
+                "placement_rank not separately attributed at {} VMs",
+                self.vms
+            ));
+        }
+        if let Err(err) = &self.trace {
+            reasons.push(format!(
+                "Chrome trace {} invalid at {} VMs: {err}",
+                self.trace_path.display(),
+                self.vms
+            ));
+        }
+        reasons
+    }
+}
+
+/// Where the run's Chrome trace goes: `DEFLATE_TRACE_OUT` if set (one
+/// run's trace — with multiple sizes the last run wins), otherwise a
+/// per-size, pid-suffixed file in the system temp directory.
+pub fn trace_path_for(vms: usize) -> PathBuf {
+    if let Ok(path) = std::env::var("DEFLATE_TRACE_OUT") {
+        if !path.is_empty() {
+            return PathBuf::from(path);
+        }
+    }
+    std::env::temp_dir().join(format!(
+        "fig_profile_{}vms_{}.trace.json",
+        vms,
+        std::process::id()
+    ))
+}
+
+/// Profile one cluster size of the spot-market scenario.
+pub fn profile_cell(scale: Scale, vms: usize) -> std::io::Result<ProfileRun> {
+    let trace_path = trace_path_for(vms);
+    let spec = TelemetrySpec::profiling().with_chrome_trace(&trace_path);
+    let sink = TelemetrySink::from_spec(&spec)?;
+    let workload = scale_workload(scale, vms);
+    let (result, servers) = run_scale_cell_with_telemetry(
+        &workload,
+        scale,
+        ShardConfig::with_shards(PROFILE_SHARDS),
+        sink.clone(),
+    );
+    let report = sink.finish()?;
+    let trace = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => validate_chrome_trace(&text),
+        Err(err) => Err(format!("unreadable: {err}")),
+    };
+    Ok(ProfileRun {
+        vms,
+        servers,
+        shards: PROFILE_SHARDS,
+        events: result.runtime.events_processed,
+        wall_clock_secs: result.runtime.wall_clock_secs,
+        report,
+        trace,
+        trace_path,
+    })
+}
+
+/// Profile every cluster size of the scale preset's sweep.
+pub fn profile_sweep(scale: Scale) -> std::io::Result<Vec<ProfileRun>> {
+    scale
+        .scale_sweep_vms()
+        .iter()
+        .map(|&vms| profile_cell(scale, vms))
+        .collect()
+}
+
+/// One profiled run as the printable per-phase table: self time (child
+/// spans subtracted), share of the engine total, and entry count — plus
+/// the unattributed remainder (`other`) and the engine total, which the
+/// phase rows and `other` sum to exactly.
+pub fn phase_table(run: &ProfileRun) -> Table {
+    let mut table = Table::new(
+        &format!(
+            "Engine phase profile: {} VMs, {} servers, {} shards (coverage {})",
+            run.vms,
+            run.servers,
+            run.shards,
+            run.coverage()
+                .map_or_else(|| "n/a".to_string(), |c| format!("{:.1}%", 100.0 * c)),
+        ),
+        &["phase", "self time", "share", "count"],
+    );
+    let total = run.report.phases.engine_total.as_secs_f64();
+    let share = |t: f64| {
+        if total > 0.0 {
+            format!("{:.1}%", 100.0 * t / total)
+        } else {
+            "n/a".to_string()
+        }
+    };
+    for row in &run.report.phases.phases {
+        if row.phase == Phase::EngineTotal {
+            continue;
+        }
+        let t = row.self_time.as_secs_f64();
+        table.row(&[
+            row.phase.name().to_string(),
+            secs(t),
+            share(t),
+            row.count.to_string(),
+        ]);
+    }
+    let other = run.report.phases.other.as_secs_f64();
+    table.row(&[
+        "other".to_string(),
+        secs(other),
+        share(other),
+        "-".to_string(),
+    ]);
+    table.row(&[
+        "engine_total".to_string(),
+        secs(total),
+        share(total),
+        "-".to_string(),
+    ]);
+    let mut tally = RuntimeTally::default();
+    tally.add(deflate_cluster::metrics::RunStats {
+        wall_clock_secs: run.wall_clock_secs,
+        events_processed: run.events,
+        shards: run.shards,
+    });
+    table.set_footer(tally.footer());
+    table
+}
+
+/// The per-shard breakdown of worker-side phases (heapify, utilisation
+/// sampling) as a table; empty when the run was sequential.
+pub fn shard_table(run: &ProfileRun) -> Table {
+    let mut table = Table::new(
+        &format!("Per-shard worker phases: {} VMs", run.vms),
+        &["shard", "phase", "time", "count"],
+    );
+    for row in &run.report.phases.shards {
+        table.row(&[
+            row.shard.to_string(),
+            row.phase.name().to_string(),
+            secs(row.time.as_secs_f64()),
+            row.count.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end on a small profiled run: the acceptance contract the
+    /// binary enforces must hold, and the phase table must carry the
+    /// load-bearing rows.
+    #[test]
+    fn mini_profile_meets_the_acceptance_contract() {
+        let run = profile_cell(Scale::Quick, 400).expect("profile run");
+        assert!(run.accepted(), "acceptance failures: {:?}", run.failures());
+        let stats = run.trace.as_ref().expect("valid trace");
+        assert!(stats.spans > 0);
+        assert!(stats.threads >= 2, "coordinator + worker tids expected");
+        let rendered = phase_table(&run).render();
+        assert!(rendered.contains("placement_rank"));
+        assert!(rendered.contains("coordinator_merge"));
+        assert!(rendered.contains("engine_total"));
+        assert!(rendered.contains("engine:"), "runtime footer expected");
+        let shards = shard_table(&run);
+        assert!(!shards.is_empty(), "worker shard rows expected");
+        let _ = std::fs::remove_file(&run.trace_path);
+    }
+
+    #[test]
+    fn trace_path_env_override_shape() {
+        // No env manipulation (tests run in parallel): check the default
+        // path shape only.
+        let path = trace_path_for(123);
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("fig_profile_123vms_"));
+        assert!(name.ends_with(".trace.json"));
+    }
+}

@@ -110,43 +110,57 @@ impl Table {
     }
 }
 
-/// Aggregate engine-runtime accounting across the simulation runs behind
-/// one experiment table: every `fig_*` table that replays workloads
-/// through `ClusterSimulation` tallies each run's [`RunStats`] and prints
-/// the total as the table footer — the per-run wall clock the experiment
-/// guide used to have to hand-wave.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RuntimeTally {
-    /// Simulation runs tallied.
-    pub runs: usize,
-    /// Total wall-clock seconds across those runs.
-    pub wall_clock_secs: f64,
-    /// Total events the engine delivered across those runs.
-    pub events: u64,
+/// The shared engine-runtime tally and `engine:` footer (runs, events,
+/// wall-clock, events/s, peak RSS), re-exported from `deflate-telemetry`
+/// so every `fig_*` table and the telemetry sink format runtime
+/// identically. The [`TallyRunStats`] extension folds a `SimResult`'s
+/// [`RunStats`] in directly.
+pub use deflate_telemetry::{secs, RuntimeTally};
+
+/// Bench-side sugar on the shared [`RuntimeTally`]: fold one run's
+/// [`RunStats`] into the tally (`deflate-telemetry` cannot name the
+/// cluster crate's stats type, so the adapter lives here).
+pub trait TallyRunStats {
+    /// Fold one run's stats into the tally.
+    fn add(&mut self, stats: RunStats);
 }
 
-impl RuntimeTally {
-    /// Fold one run's stats into the tally.
-    pub fn add(&mut self, stats: RunStats) {
-        self.runs += 1;
-        self.wall_clock_secs += stats.wall_clock_secs;
-        self.events += stats.events_processed;
+impl TallyRunStats for RuntimeTally {
+    fn add(&mut self, stats: RunStats) {
+        self.add_run(stats.wall_clock_secs, stats.events_processed);
+    }
+}
+
+/// Stopwatch for figures that never replay the cluster engine (analytic
+/// models, app-level simulators): times the figure's own computation so
+/// its table still carries the shared `engine:` footer — zero engine
+/// events, but wall-clock, events/s, and peak RSS are reported
+/// uniformly across every `fig_*` binary.
+#[derive(Debug)]
+pub struct FigureTimer {
+    started: std::time::Instant,
+}
+
+impl FigureTimer {
+    /// Start timing a figure computation.
+    pub fn start() -> Self {
+        FigureTimer {
+            started: std::time::Instant::now(),
+        }
     }
 
-    /// Render the footer line: runs, events, wall-clock, throughput.
-    pub fn footer(&self) -> String {
-        let rate = if self.wall_clock_secs > 0.0 {
-            self.events as f64 / self.wall_clock_secs
-        } else {
-            0.0
-        };
-        format!(
-            "engine: {} runs, {} events, {} wall-clock, {:.0} events/s",
-            self.runs,
-            self.events,
-            secs(self.wall_clock_secs),
-            rate
-        )
+    /// Footer the finished table with the elapsed wall clock.
+    pub fn finish(self, table: &mut Table) {
+        let mut tally = RuntimeTally::default();
+        tally.add_run(self.started.elapsed().as_secs_f64(), 0);
+        table.set_footer(tally.footer());
+    }
+
+    /// [`finish`](Self::finish) as a by-value wrapper, for figure
+    /// functions that return the table from a builder expression.
+    pub fn wrap(self, mut table: Table) -> Table {
+        self.finish(&mut table);
+        table
     }
 }
 
@@ -158,15 +172,6 @@ pub fn pct(x: f64) -> String {
 /// Format a float with three decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
-}
-
-/// Format seconds, switching to milliseconds below one second.
-pub fn secs(x: f64) -> String {
-    if x < 1.0 {
-        format!("{:.1} ms", x * 1000.0)
-    } else {
-        format!("{x:.2} s")
-    }
 }
 
 #[cfg(test)]
@@ -216,12 +221,17 @@ mod tests {
             events_processed: 100,
             shards: 1,
         });
-        t.set_footer(tally.footer());
+        // Live `footer()` samples the process RSS; pin the rest of the
+        // line through the deterministic explicit-RSS variant.
+        t.set_footer(tally.footer_with_rss(None));
         assert_eq!(t.rows().len(), 1, "footer must not become a data row");
         assert_eq!(
             t.footer(),
-            Some("engine: 2 runs, 200 events, 4.00 s wall-clock, 50 events/s")
+            Some("engine: 2 runs, 200 events, 4.00 s wall-clock, 50 events/s, rss=n/a")
         );
-        assert!(t.render().ends_with("50 events/s\n"));
+        assert!(t.render().ends_with("rss=n/a\n"));
+        // The real binaries use `footer()`, which appends the live
+        // `rss=` field in the same format.
+        assert!(tally.footer().contains(", rss="));
     }
 }

@@ -23,7 +23,7 @@
 //! number is attributable to a row only the first time it increases.
 //! On non-Linux hosts the column prints `n/a`.
 
-use crate::report::{secs, RuntimeTally, Table};
+use crate::report::{secs, RuntimeTally, Table, TallyRunStats};
 use crate::scale::Scale;
 use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
 use deflate_cluster::metrics::SimResult;
@@ -37,6 +37,7 @@ use deflate_core::policy::ProportionalDeflation;
 use deflate_core::shard::ShardConfig;
 use deflate_hypervisor::domain::DeflationMechanism;
 use deflate_hypervisor::migration::MigrationCostModel;
+use deflate_telemetry::TelemetrySink;
 use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
 use deflate_transient::signal::{CapacityProfile, CapacitySchedule, TransientConfig};
 use std::sync::Arc;
@@ -101,6 +102,18 @@ pub fn run_scale_cell(
     scale: Scale,
     shards: ShardConfig,
 ) -> (SimResult, usize) {
+    run_scale_cell_with_telemetry(workload, scale, shards, TelemetrySink::disabled())
+}
+
+/// [`run_scale_cell`] observed through a telemetry sink — the engine run
+/// behind `fig_profile`'s per-phase table. The sink never changes the
+/// result (the standing `deflate-telemetry` contract).
+pub fn run_scale_cell_with_telemetry(
+    workload: &[WorkloadVm],
+    scale: Scale,
+    shards: ShardConfig,
+    telemetry: TelemetrySink,
+) -> (SimResult, usize) {
     let capacity = paper_server_capacity();
     let profile = CapacityProfile::spot_market_default();
     let servers =
@@ -132,6 +145,7 @@ pub fn run_scale_cell(
     )
     .with_utilization_ticks(900.0)
     .with_shards(shards)
+    .with_telemetry(telemetry)
     .run(workload);
     (result, servers)
 }
@@ -253,17 +267,11 @@ pub fn table_from_rows(rows: &[ScaleRow]) -> Table {
     table
 }
 
-/// The process's peak resident-set size in MiB, from `/proc/self/status`'s
-/// `VmHWM` line. `None` when the file (non-Linux) or the line is missing.
-pub fn peak_rss_mib() -> Option<f64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: f64 = line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|v| v.parse().ok())?;
-    Some(kb / 1024.0)
-}
+/// The process's peak resident-set size in MiB — the shared
+/// `deflate-telemetry` reader, which (unlike the original local copy)
+/// degrades to `None` on a missing, unparseable, or zero `VmHWM` rather
+/// than reporting a bogus value.
+pub use deflate_telemetry::peak_rss_mib;
 
 #[cfg(test)]
 mod tests {

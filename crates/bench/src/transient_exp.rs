@@ -18,7 +18,7 @@
 //! [`bandwidth_sweep_table`] experiment sweeps the per-server budget to
 //! show the effect directly.
 
-use crate::report::{pct, RuntimeTally, Table};
+use crate::report::{pct, RuntimeTally, Table, TallyRunStats};
 use crate::scale::Scale;
 use deflate_cluster::manager::{ClusterConfig, PlacementKind, ReclamationMode};
 use deflate_cluster::metrics::SimResult;

@@ -3,7 +3,7 @@
 //! (fraction of requests served), Figure 18 (microservice social network) and
 //! Figure 19 (deflation-aware load balancing).
 
-use crate::report::{pct, secs, Table};
+use crate::report::{pct, secs, FigureTimer, Table};
 use crate::scale::Scale;
 use deflate_appsim::latency::LatencyStats;
 use deflate_appsim::loadbalancer::{LbPolicy, WebCluster, WebClusterConfig};
@@ -31,6 +31,7 @@ pub fn wikipedia_sweep(scale: Scale) -> Vec<(f64, LatencyStats)> {
 
 /// Figure 16: Wikipedia response-time distribution vs CPU deflation.
 pub fn fig16(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let mut table = Table::new(
         "Figure 16: Wikipedia response times with CPU deflation (30-core VM, 800 req/s)",
         &["deflation", "cores", "mean", "median", "p90", "p99"],
@@ -46,11 +47,12 @@ pub fn fig16(scale: Scale) -> Table {
             secs(stats.p99()),
         ]);
     }
-    table
+    timer.wrap(table)
 }
 
 /// Figure 17: fraction of Wikipedia requests served vs CPU deflation.
 pub fn fig17(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let mut table = Table::new(
         "Figure 17: Wikipedia requests served vs CPU deflation",
         &["deflation", "requests served"],
@@ -58,7 +60,7 @@ pub fn fig17(scale: Scale) -> Table {
     for (d, stats) in wikipedia_sweep(scale) {
         table.row(&[pct(d), pct(stats.served_fraction())]);
     }
-    table
+    timer.wrap(table)
 }
 
 /// Figure 18: social-network (30 microservices) response times vs deflation
@@ -70,6 +72,7 @@ pub fn fig18(scale: Scale) -> Vec<(f64, LatencyStats)> {
 
 /// Figure 18 as a printable table.
 pub fn fig18_table(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let mut table = Table::new(
         "Figure 18: social-network response times (22 of 30 microservices deflated, 500 req/s)",
         &["deflation", "median", "p90", "p99", "served"],
@@ -83,7 +86,7 @@ pub fn fig18_table(scale: Scale) -> Table {
             pct(stats.served_fraction()),
         ]);
     }
-    table
+    timer.wrap(table)
 }
 
 /// Figure 19: vanilla vs deflation-aware load balancing over three Wikipedia
@@ -95,6 +98,7 @@ pub fn fig19(scale: Scale) -> Vec<(f64, LatencyStats, LatencyStats)> {
 
 /// Figure 19 as a printable table.
 pub fn fig19_table(scale: Scale) -> Table {
+    let timer = FigureTimer::start();
     let mut table = Table::new(
         "Figure 19: deflation-aware load balancing (3 replicas, 2 deflatable, 200 req/s)",
         &[
@@ -114,7 +118,7 @@ pub fn fig19_table(scale: Scale) -> Table {
             secs(aware.p90()),
         ]);
     }
-    table
+    timer.wrap(table)
 }
 
 /// Convenience: check that the deflation-aware policy improves the p90 tail

@@ -64,6 +64,7 @@ use deflate_hypervisor::controller::{AdmissionOutcome, LocalController};
 use deflate_hypervisor::domain::{CacheRegrowthModel, DeflationMechanism};
 use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_hypervisor::server::SimServer;
+use deflate_telemetry::{Phase, TelemetrySink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -408,6 +409,10 @@ pub struct ClusterManager {
     cache_regrowth: CacheRegrowthModel,
     counters: AdmissionCounters,
     transient: TransientCounters,
+    /// Observability sink (disabled by default): placement-ranking and
+    /// transfer-booking spans, plus the end-of-run counter publish.
+    /// Observation only — never consulted by any decision path.
+    telemetry: TelemetrySink,
 }
 
 impl ClusterManager {
@@ -450,7 +455,18 @@ impl ClusterManager {
             cache_regrowth: CacheRegrowthModel::default(),
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Builder-style telemetry sink. The disabled default makes every
+    /// span and counter a one-branch no-op; an enabled sink records
+    /// placement-ranking / transfer-booking spans and publishes the
+    /// manager's counters via [`publish_metrics`](Self::publish_metrics)
+    /// without ever influencing a decision.
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Builder-style restore-policy override. The default is
@@ -738,9 +754,12 @@ impl ClusterManager {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = spans
                     .into_iter()
-                    .map(|span| {
+                    .enumerate()
+                    .map(|(shard, span)| {
                         let controllers = &self.controllers[span];
+                        let worker_sink = self.telemetry.clone();
                         scope.spawn(move || {
+                            let _span = worker_sink.shard_span(shard, Phase::UtilizationSampling);
                             controllers
                                 .iter()
                                 .map(|c| {
@@ -778,6 +797,9 @@ impl ClusterManager {
 
     /// Place a new VM, reclaiming resources if necessary.
     pub fn place_vm(&mut self, spec: VmSpec) -> PlacementResult {
+        // The span guard owns its handle, so the placement paths below can
+        // still borrow `self` mutably while the ranking is being timed.
+        let _rank = self.telemetry.span(Phase::PlacementRank);
         let result = match self.mode.clone() {
             ReclamationMode::Deflation(_) => self.place_with_deflation(&spec),
             ReclamationMode::Preemption => self.place_with_preemption(&spec),
@@ -1375,6 +1397,7 @@ impl ClusterManager {
         if self.staged.is_empty() {
             return;
         }
+        let _booking = self.telemetry.span(Phase::TransferBooking);
         let staged = std::mem::take(&mut self.staged);
         let requests: Vec<TransferRequest> = staged
             .iter()
@@ -1679,6 +1702,66 @@ impl ClusterManager {
     /// With no transfer in flight this is the strict physical invariant.
     pub fn check_invariants(&self) -> bool {
         (0..self.controllers.len()).all(|idx| self.fits_with_pending(idx))
+    }
+
+    /// Publish the manager's admission, transient and transfer-scheduler
+    /// accounting into the telemetry metrics registry (one-branch no-op
+    /// when the metrics sink is off). Called once at the end of a run so
+    /// the published values are the final counters.
+    pub fn publish_metrics(&self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        t.count("manager.admitted_free", self.counters.admitted_free as u64);
+        t.count(
+            "manager.admitted_with_deflation",
+            self.counters.admitted_with_deflation as u64,
+        );
+        t.count(
+            "manager.admitted_with_preemption",
+            self.counters.admitted_with_preemption as u64,
+        );
+        t.count("manager.rejected", self.counters.rejected as u64);
+        t.count("manager.preempted_vms", self.counters.preempted_vms as u64);
+        t.count(
+            "transient.reclaim_events",
+            self.transient.reclaim_events as u64,
+        );
+        t.count(
+            "transient.restore_events",
+            self.transient.restore_events as u64,
+        );
+        t.count(
+            "transient.absorbed_by_deflation",
+            self.transient.absorbed_by_deflation as u64,
+        );
+        t.count("transient.migrations", self.transient.migrations as u64);
+        t.count(
+            "transient.migrations_back",
+            self.transient.migrations_back as u64,
+        );
+        t.count(
+            "transient.migration_aborts",
+            self.transient.migration_aborts as u64,
+        );
+        t.count(
+            "transient.migration_rejections",
+            self.transient.migration_rejections as u64,
+        );
+        t.count(
+            "transient.reclamation_victims",
+            self.transient.reclamation_victims as u64,
+        );
+        let sched = self.scheduler.stats();
+        t.count("scheduler.booked", sched.booked as u64);
+        t.count("scheduler.rejected", sched.rejected as u64);
+        t.gauge_set(
+            "scheduler.mean_queue_wait_secs",
+            sched.mean_queue_wait_secs(),
+        );
+        t.gauge_set("manager.in_flight_at_end", self.in_flight.len() as f64);
+        t.gauge_set("manager.num_servers", self.controllers.len() as f64);
     }
 }
 

@@ -58,9 +58,11 @@ use crate::spec::WorkloadVm;
 use deflate_autoscale::{Autoscaler, ElasticApp};
 use deflate_core::policy::{AutoscalePolicy, RestorePolicy, TransferPolicy};
 use deflate_core::shard::ShardConfig;
+use deflate_core::telemetry::TelemetrySpec;
 use deflate_core::vm::VmId;
 use deflate_hypervisor::domain::CacheRegrowthModel;
 use deflate_hypervisor::migration::MigrationCostModel;
+use deflate_telemetry::{EventField, Phase, TelemetryEventKind, TelemetrySink};
 use deflate_transient::events::SimEvent;
 use deflate_transient::sharded::ShardedEventQueue;
 use deflate_transient::signal::CapacitySchedule;
@@ -80,6 +82,7 @@ pub struct ClusterSimulation {
     autoscale_policy: AutoscalePolicy,
     elastic_apps: Vec<ElasticApp>,
     shards: ShardConfig,
+    telemetry: TelemetrySink,
 }
 
 impl ClusterSimulation {
@@ -100,7 +103,31 @@ impl ClusterSimulation {
             autoscale_policy: AutoscalePolicy::default(),
             elastic_apps: Vec::new(),
             shards: ShardConfig::sequential(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Observe the run through a telemetry sink (`deflate-telemetry`):
+    /// engine phase spans, metrics, JSONL event log, Chrome trace — per
+    /// the sink's [`TelemetrySpec`]. The disabled default costs one
+    /// branch per call site, and an enabled sink **never changes
+    /// results**: every `SimResult` field is bit-identical to a
+    /// telemetry-off run at any shard count (pinned by
+    /// `tests/telemetry_determinism.rs`).
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// [`with_telemetry`](Self::with_telemetry) from a spec, opening any
+    /// file sinks now (a bad path fails before the run starts).
+    pub fn with_telemetry_spec(self, spec: &TelemetrySpec) -> std::io::Result<Self> {
+        Ok(self.with_telemetry(TelemetrySink::from_spec(spec)?))
+    }
+
+    /// The sink the run will feed (disabled unless configured).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// Run the engine with the given shard count ([`ShardConfig`]): per-
@@ -188,11 +215,16 @@ impl ClusterSimulation {
     /// counters.
     pub fn run(&self, workload: &[WorkloadVm]) -> SimResult {
         let started_at = std::time::Instant::now();
+        // The umbrella span: its *self* time (total minus the attributed
+        // phases below) is `fig_profile`'s "other" row, so the phase
+        // table always sums to the engine total.
+        let _engine_total = self.telemetry.span(Phase::EngineTotal);
         let mut manager = ClusterManager::new(&self.config, self.mode.clone())
             .with_migration_cost(self.migration_cost)
             .with_transfer_policy(self.transfer_policy)
             .with_restore_policy(self.restore_policy)
-            .with_cache_regrowth(self.cache_regrowth);
+            .with_cache_regrowth(self.cache_regrowth)
+            .with_telemetry(self.telemetry.clone());
         // The autoscaler exists only for enabled policies: a Disabled run
         // schedules no scale events and touches no autoscaler state, so it
         // is bit-identical to a run of the engine before autoscaling
@@ -208,59 +240,99 @@ impl ClusterSimulation {
         // shrunk server. The event list is routed into per-shard heaps and
         // heapified in parallel; popping merges the shard heads under the
         // same total order, so the shard count never changes the run.
-        let mut events: Vec<(f64, SimEvent)> =
-            Vec::with_capacity(workload.len() * 2 + self.schedule.len());
-        let mut horizon: f64 = 0.0;
-        for (i, vm) in workload.iter().enumerate() {
-            events.push((vm.arrival_secs, SimEvent::Arrival(i)));
-            events.push((vm.departure_secs, SimEvent::Departure(i)));
-            horizon = horizon.max(vm.departure_secs);
-        }
-        for change in self.schedule.changes() {
-            let event = if change.is_reclaim {
-                SimEvent::CapacityReclaim {
-                    server: change.server,
-                    available_fraction: change.available_fraction,
-                }
-            } else {
-                SimEvent::CapacityRestore {
-                    server: change.server,
-                    available_fraction: change.available_fraction,
-                }
-            };
-            events.push((change.time_secs, event));
-        }
-        if let Some(interval) = self.utilization_tick_secs {
-            let mut t = 0.0;
-            while t <= horizon {
-                events.push((t, SimEvent::UtilizationTick));
-                t += interval;
+        let events: Vec<(f64, SimEvent)> = {
+            let _schedule = self.telemetry.span(Phase::ScheduleBuild);
+            let mut events: Vec<(f64, SimEvent)> =
+                Vec::with_capacity(workload.len() * 2 + self.schedule.len());
+            let mut horizon: f64 = 0.0;
+            for (i, vm) in workload.iter().enumerate() {
+                events.push((vm.arrival_secs, SimEvent::Arrival(i)));
+                events.push((vm.departure_secs, SimEvent::Departure(i)));
+                horizon = horizon.max(vm.departure_secs);
             }
-        }
-        if let Some(autoscaler) = &autoscaler {
-            // Bootstrap scale-outs launch each app's initial pool.
-            events.extend(autoscaler.initial_events());
-        }
-        let mut queue =
-            ShardedEventQueue::build(self.shards, self.config.num_servers, workload.len(), events);
+            for change in self.schedule.changes() {
+                let event = if change.is_reclaim {
+                    SimEvent::CapacityReclaim {
+                        server: change.server,
+                        available_fraction: change.available_fraction,
+                    }
+                } else {
+                    SimEvent::CapacityRestore {
+                        server: change.server,
+                        available_fraction: change.available_fraction,
+                    }
+                };
+                events.push((change.time_secs, event));
+            }
+            if let Some(interval) = self.utilization_tick_secs {
+                let mut t = 0.0;
+                while t <= horizon {
+                    events.push((t, SimEvent::UtilizationTick));
+                    t += interval;
+                }
+            }
+            if let Some(autoscaler) = &autoscaler {
+                // Bootstrap scale-outs launch each app's initial pool.
+                events.extend(autoscaler.initial_events());
+            }
+            events
+        };
+        let mut queue = ShardedEventQueue::build_with_telemetry(
+            self.shards,
+            self.config.num_servers,
+            workload.len(),
+            events,
+            &self.telemetry,
+        );
 
         // Working state.
-        let index_of: HashMap<VmId, usize> = workload
-            .iter()
-            .enumerate()
-            .map(|(i, vm)| (vm.spec.id, i))
-            .collect();
-        let mut records = self.initial_records(workload);
+        let (index_of, mut records) = {
+            let _init = self.telemetry.span(Phase::RecordInit);
+            let index_of: HashMap<VmId, usize> = workload
+                .iter()
+                .enumerate()
+                .map(|(i, vm)| (vm.spec.id, i))
+                .collect();
+            (index_of, self.initial_records(workload))
+        };
         let mut running: Vec<bool> = vec![false; workload.len()];
         let mut migrations: Vec<MigrationEvent> = Vec::new();
         let mut utilization: Vec<(f64, f64)> = Vec::new();
         let mut events_processed: u64 = 0;
 
-        while let Some((time, event)) = queue.pop() {
+        loop {
+            // Time the k-way shard-head merge separately from the event
+            // handlers it feeds.
+            let popped = {
+                let _merge = self.telemetry.span(Phase::CoordinatorMerge);
+                queue.pop()
+            };
+            let Some((time, event)) = popped else { break };
             events_processed += 1;
             match event {
                 SimEvent::Arrival(i) => {
+                    let _span = self.telemetry.span(Phase::Arrival);
+                    // PlacementRank nests inside place_vm and is
+                    // subtracted from this span's self time.
                     let result = manager.place_vm(workload[i].spec.clone());
+                    if self.telemetry.wants(TelemetryEventKind::Arrival) {
+                        let outcome = match &result {
+                            PlacementResult::Rejected => "rejected",
+                            PlacementResult::Placed { .. } => "placed",
+                            PlacementResult::PlacedWithDeflation { .. } => "placed_with_deflation",
+                            PlacementResult::PlacedWithPreemption { .. } => {
+                                "placed_with_preemption"
+                            }
+                        };
+                        self.telemetry.log_event(
+                            TelemetryEventKind::Arrival,
+                            time,
+                            &[
+                                ("vm", EventField::U64(workload[i].spec.id.0)),
+                                ("outcome", EventField::Str(outcome)),
+                            ],
+                        );
+                    }
                     let touched_server = match result {
                         PlacementResult::Rejected => {
                             records[i].outcome = VmOutcome::Rejected;
@@ -305,6 +377,20 @@ impl ClusterSimulation {
                     }
                 }
                 SimEvent::Departure(i) => {
+                    let _span = self.telemetry.span(Phase::Departure);
+                    if self.telemetry.wants(TelemetryEventKind::Departure) {
+                        self.telemetry.log_event(
+                            TelemetryEventKind::Departure,
+                            time,
+                            &[
+                                ("vm", EventField::U64(workload[i].spec.id.0)),
+                                (
+                                    "was_running",
+                                    EventField::Str(if running[i] { "yes" } else { "no" }),
+                                ),
+                            ],
+                        );
+                    }
                     if running[i] {
                         let vm = workload[i].spec.id;
                         let server = manager.locate(vm);
@@ -329,8 +415,27 @@ impl ClusterSimulation {
                     server,
                     available_fraction,
                 } => {
-                    self.observe_utilizations(&mut manager, workload, &running, time);
+                    let _span = self.telemetry.span(Phase::ReclaimLadder);
+                    {
+                        let _sampling = self.telemetry.span(Phase::UtilizationSampling);
+                        self.observe_utilizations(&mut manager, workload, &running, time);
+                    }
                     let outcome = manager.reclaim_capacity(server, available_fraction, time);
+                    if self.telemetry.wants(TelemetryEventKind::CapacityReclaim) {
+                        self.telemetry.log_event(
+                            TelemetryEventKind::CapacityReclaim,
+                            time,
+                            &[
+                                ("server", EventField::U64(u64::from(server.0))),
+                                ("available_fraction", EventField::F64(available_fraction)),
+                                ("victims", EventField::U64(outcome.victims.len() as u64)),
+                                (
+                                    "migrations_started",
+                                    EventField::U64(outcome.started.len() as u64),
+                                ),
+                            ],
+                        );
+                    }
                     Self::apply_capacity_outcome(
                         &manager,
                         &outcome,
@@ -347,13 +452,31 @@ impl ClusterSimulation {
                     server,
                     available_fraction,
                 } => {
-                    self.observe_utilizations(&mut manager, workload, &running, time);
+                    let _span = self.telemetry.span(Phase::ReclaimLadder);
+                    {
+                        let _sampling = self.telemetry.span(Phase::UtilizationSampling);
+                        self.observe_utilizations(&mut manager, workload, &running, time);
+                    }
                     let outcome = manager.restore_capacity(
                         server,
                         available_fraction,
                         self.migrate_back,
                         time,
                     );
+                    if self.telemetry.wants(TelemetryEventKind::CapacityRestore) {
+                        self.telemetry.log_event(
+                            TelemetryEventKind::CapacityRestore,
+                            time,
+                            &[
+                                ("server", EventField::U64(u64::from(server.0))),
+                                ("available_fraction", EventField::F64(available_fraction)),
+                                (
+                                    "migrations_started",
+                                    EventField::U64(outcome.started.len() as u64),
+                                ),
+                            ],
+                        );
+                    }
                     Self::apply_capacity_outcome(
                         &manager,
                         &outcome,
@@ -367,7 +490,18 @@ impl ClusterSimulation {
                     );
                 }
                 SimEvent::MigrationComplete { migration } => {
+                    let _span = self.telemetry.span(Phase::MigrationCompletion);
                     let outcome = manager.complete_migration(migration, time);
+                    if self.telemetry.wants(TelemetryEventKind::MigrationComplete) {
+                        self.telemetry.log_event(
+                            TelemetryEventKind::MigrationComplete,
+                            time,
+                            &[
+                                ("migration", EventField::U64(migration)),
+                                ("completed", EventField::U64(outcome.migrated.len() as u64)),
+                            ],
+                        );
+                    }
                     Self::apply_capacity_outcome(
                         &manager,
                         &outcome,
@@ -381,6 +515,7 @@ impl ClusterSimulation {
                     );
                 }
                 SimEvent::UtilizationTick => {
+                    let _span = self.telemetry.span(Phase::UtilizationSampling);
                     // Per-server values are read shard-parallel; the
                     // cross-server fold stays sequential in server order so
                     // the f64 sum is bit-identical for every shard count.
@@ -391,18 +526,34 @@ impl ClusterSimulation {
                         used / capacity
                     };
                     utilization.push((time, value));
+                    if self.telemetry.wants(TelemetryEventKind::UtilizationTick) {
+                        self.telemetry.log_event(
+                            TelemetryEventKind::UtilizationTick,
+                            time,
+                            &[("utilization", EventField::F64(value))],
+                        );
+                    }
                     // Autoscaling decisions hang off the same ticks: the
                     // autoscaler observes each app against the settled
                     // cluster state and schedules ScaleOut / ScaleIn
                     // events at the coordinator — deterministic at any
                     // shard count.
                     if let Some(autoscaler) = autoscaler.as_mut() {
+                        let _decide = self.telemetry.span(Phase::Autoscale);
                         for (t, event) in autoscaler.on_tick(time, &manager) {
                             queue.push(t, event);
                         }
                     }
                 }
                 SimEvent::ScaleOut { app } => {
+                    let _span = self.telemetry.span(Phase::Autoscale);
+                    if self.telemetry.wants(TelemetryEventKind::ScaleOut) {
+                        self.telemetry.log_event(
+                            TelemetryEventKind::ScaleOut,
+                            time,
+                            &[("app", EventField::U64(u64::from(app)))],
+                        );
+                    }
                     let Some(scaler) = autoscaler.as_mut() else {
                         continue;
                     };
@@ -432,6 +583,14 @@ impl ClusterSimulation {
                     }
                 }
                 SimEvent::ScaleIn { app } => {
+                    let _span = self.telemetry.span(Phase::Autoscale);
+                    if self.telemetry.wants(TelemetryEventKind::ScaleIn) {
+                        self.telemetry.log_event(
+                            TelemetryEventKind::ScaleIn,
+                            time,
+                            &[("app", EventField::U64(u64::from(app)))],
+                        );
+                    }
                     let Some(autoscaler) = autoscaler.as_mut() else {
                         continue;
                     };
@@ -450,17 +609,27 @@ impl ClusterSimulation {
         }
 
         debug_assert!(manager.check_invariants());
+        let _assembly = self.telemetry.span(Phase::ResultAssembly);
         let overcommitment = crate::spec::overcommitment_of(
             workload,
             self.config.server_capacity,
             self.config.num_servers,
         );
+        let autoscale = autoscaler.map(Autoscaler::into_stats).unwrap_or_default();
+        // Final-state metrics are published exactly once, from settled
+        // counters, so snapshots are deterministic at any shard count.
+        manager.publish_metrics();
+        autoscale.publish_metrics(&self.telemetry);
+        self.telemetry
+            .gauge_set("engine.events_processed", events_processed as f64);
+        self.telemetry
+            .gauge_set("engine.shards", self.shards.count() as f64);
         SimResult {
             records,
             counters: manager.counters(),
             transient: manager.transient_counters(),
             scheduler: manager.scheduler_stats(),
-            autoscale: autoscaler.map(Autoscaler::into_stats).unwrap_or_default(),
+            autoscale,
             migrations,
             utilization,
             num_servers: self.config.num_servers,

@@ -26,6 +26,10 @@
 //!   worker threads the discrete-event simulator fans per-server work out
 //!   to, with the guarantee that any shard count is bit-identical to the
 //!   sequential engine.
+//! * [`telemetry`] — the observability knob ([`TelemetrySpec`]): which
+//!   telemetry sinks (metrics registry, phase profiler, JSONL event log,
+//!   Chrome trace) a run should feed, **off by default**, with the
+//!   guarantee that enabling any sink never changes simulation results.
 //!
 //! The simulated hypervisor substrate lives in `deflate-hypervisor`, the
 //! cluster manager and discrete-event simulator in `deflate-cluster`.
@@ -57,12 +61,14 @@ pub mod policy;
 pub mod pricing;
 pub mod resources;
 pub mod shard;
+pub mod telemetry;
 pub mod vm;
 
 pub use error::{DeflateError, Result};
 pub use perfmodel::PerfModel;
 pub use resources::{ResourceKind, ResourceVector};
 pub use shard::ShardConfig;
+pub use telemetry::{TelemetryEventKind, TelemetryEventSet, TelemetrySpec};
 pub use vm::{Priority, ServerId, VmAllocation, VmClass, VmId, VmSpec};
 
 /// Commonly used items, for glob import in examples and downstream crates.
@@ -81,5 +87,6 @@ pub mod prelude {
     pub use crate::pricing::{PricingPolicy, RateCard};
     pub use crate::resources::{ResourceKind, ResourceVector};
     pub use crate::shard::ShardConfig;
+    pub use crate::telemetry::{TelemetryEventKind, TelemetryEventSet, TelemetrySpec};
     pub use crate::vm::{Priority, ServerId, VmAllocation, VmClass, VmId, VmSpec};
 }

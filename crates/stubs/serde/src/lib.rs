@@ -5,6 +5,13 @@
 //! markers and the derives (re-exported from the `serde_derive` stub)
 //! expand to nothing. The derive macro and the trait share each name, the
 //! same arrangement the real serde crate uses.
+//!
+//! The [`json`] module is the one piece with behaviour: a minimal JSON
+//! value model and parser (standing in for `serde_json`) that the
+//! telemetry sinks' well-formedness tests deserialize emitted traces
+//! with.
+
+pub mod json;
 
 /// Marker trait standing in for `serde::Serialize`.
 pub trait Serialize {}

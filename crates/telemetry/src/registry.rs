@@ -1,0 +1,291 @@
+//! Hand-rolled metrics registry: counters, gauges and fixed-bucket
+//! histograms with deterministic aggregation order.
+//!
+//! The offline workspace has no `prometheus`/`metrics` crates, and the
+//! engine's determinism contract makes an ordering guarantee valuable
+//! anyway: all three families are keyed by `BTreeMap`, so a
+//! [`MetricsSnapshot`] always lists series in lexicographic name order
+//! and two identical runs render byte-identical metric dumps.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default histogram bucket upper bounds, in seconds — tuned for engine
+/// phase durations (100 µs .. 100 s).
+pub const DEFAULT_BUCKETS: [f64; 10] = [1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 100.0];
+
+/// A fixed-bucket histogram: counts per upper bound, plus sum and count
+/// for mean recovery. Samples above the last bound land in an implicit
+/// overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            overflow: 0,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all samples, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// `(upper_bound, count)` pairs, ending with the overflow bucket as
+    /// `(f64::INFINITY, n)`.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .zip(self.counts.iter().copied())
+            .chain(std::iter::once((f64::INFINITY, self.overflow)))
+            .collect()
+    }
+}
+
+/// The registry itself. Cheap to create; normally owned by the
+/// `TelemetrySink` behind a mutex.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the counter `name` (created at zero on first use).
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.entry_counter(name) += n;
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if let Some(slot) = self.gauges.get_mut(name) {
+            *slot = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Record `value` into the histogram `name`, creating it with
+    /// [`DEFAULT_BUCKETS`] on first use.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.observe_with(name, &DEFAULT_BUCKETS, value);
+    }
+
+    /// Record `value` into the histogram `name`, creating it with
+    /// `bounds` on first use (later calls keep the original bounds).
+    pub fn observe_with(&mut self, name: &str, bounds: &[f64], value: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::new(bounds);
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any sample has been recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Deterministic point-in-time snapshot: every family in
+    /// lexicographic name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            buckets: h.buckets(),
+                            sum: h.sum,
+                            count: h.count,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn entry_counter(&mut self, name: &str) -> &mut u64 {
+        if !self.counters.contains_key(name) {
+            self.counters.insert(name.to_string(), 0);
+        }
+        self.counters.get_mut(name).expect("just inserted")
+    }
+}
+
+/// Frozen copy of one histogram for a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// `(upper_bound, count)` pairs ending with the `+Inf` overflow bucket.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Number of samples.
+    pub count: u64,
+}
+
+/// A point-in-time dump of the registry, series sorted by name. The
+/// `Display` impl renders one series per line — byte-identical across
+/// identical runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter series, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge series, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram series, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// True when no series has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "counter {name} = {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "gauge {name} = {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            let mean = if h.count > 0 {
+                h.sum / h.count as f64
+            } else {
+                0.0
+            };
+            writeln!(f, "histogram {name}: count={} mean={mean:.6}", h.count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.counter("x"), 0);
+        reg.count("x", 2);
+        reg.count("x", 3);
+        assert_eq!(reg.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("g", 1.0);
+        reg.gauge_set("g", 2.5);
+        assert_eq!(reg.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(100.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets(), vec![(1.0, 1), (10.0, 1), (f64::INFINITY, 1)]);
+        assert!((h.mean().unwrap() - 105.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_deterministic() {
+        let mut reg = MetricsRegistry::new();
+        reg.count("z_last", 1);
+        reg.count("a_first", 1);
+        reg.gauge_set("mid", 0.0);
+        reg.observe("lat", 0.01);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["a_first", "z_last"]);
+        assert_eq!(snap.to_string(), reg.snapshot().to_string());
+        assert_eq!(snap.counter("z_last"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+}

@@ -35,6 +35,7 @@
 
 use crate::events::{event_cmp, EventQueue, SimEvent};
 use deflate_core::shard::ShardConfig;
+use deflate_telemetry::{Phase, TelemetrySink};
 
 /// A deterministic min-queue of timed simulation events, split into
 /// per-shard heaps merged by a coordinator.
@@ -109,9 +110,32 @@ impl ShardedEventQueue {
         num_slots: usize,
         events: Vec<(f64, SimEvent)>,
     ) -> Self {
+        Self::build_with_telemetry(
+            config,
+            num_servers,
+            num_slots,
+            events,
+            &TelemetrySink::disabled(),
+        )
+    }
+
+    /// [`build`](Self::build) under a telemetry sink: the whole build is
+    /// a [`Phase::Heapify`] span, each worker's heapify is a per-shard
+    /// span, and the queue publishes its routing balance (event count per
+    /// shard) into the metrics registry. The sink only observes — the
+    /// built queue is identical to [`build`](Self::build)'s.
+    pub fn build_with_telemetry(
+        config: ShardConfig,
+        num_servers: usize,
+        num_slots: usize,
+        events: Vec<(f64, SimEvent)>,
+        telemetry: &TelemetrySink,
+    ) -> Self {
+        let _heapify = telemetry.span(Phase::Heapify);
         let mut queue = ShardedEventQueue::new(config, num_servers, num_slots);
         if !config.is_parallel() {
             queue.shards[0] = EventQueue::from_events(events);
+            queue.publish_build_metrics(telemetry);
             return queue;
         }
         // Route first (cheap, sequential), then heapify each shard's
@@ -126,7 +150,14 @@ impl ShardedEventQueue {
         let built: Vec<EventQueue> = std::thread::scope(|scope| {
             let handles: Vec<_> = buckets
                 .into_iter()
-                .map(|bucket| scope.spawn(move || EventQueue::from_events(bucket)))
+                .enumerate()
+                .map(|(shard, bucket)| {
+                    let worker_sink = telemetry.clone();
+                    scope.spawn(move || {
+                        let _span = worker_sink.shard_span(shard, Phase::Heapify);
+                        EventQueue::from_events(bucket)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -134,7 +165,21 @@ impl ShardedEventQueue {
                 .collect()
         });
         queue.shards = built;
+        queue.publish_build_metrics(telemetry);
         queue
+    }
+
+    /// Publish the post-build routing balance: total scheduled events,
+    /// shard count, and each shard's heap size.
+    fn publish_build_metrics(&self, telemetry: &TelemetrySink) {
+        if !telemetry.enabled() {
+            return;
+        }
+        telemetry.gauge_set("queue.shards", self.config.shards as f64);
+        telemetry.count("queue.events_scheduled", self.len() as u64);
+        for (shard, len) in self.shard_lens().into_iter().enumerate() {
+            telemetry.gauge_set(&format!("queue.shard.{shard}.initial_events"), len as f64);
+        }
     }
 
     /// The shard owning an event: a pure function of the event's own
@@ -362,6 +407,34 @@ mod tests {
         }
         assert_eq!(q.peek_time(), None);
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn telemetry_build_is_identical_and_publishes_balance() {
+        use deflate_telemetry::{TelemetrySink, TelemetrySpec};
+        let events = soup(25);
+        let expected = drain_sequential(&events);
+        let sink = TelemetrySink::in_memory(&TelemetrySpec::profiling());
+        let mut q = ShardedEventQueue::build_with_telemetry(
+            ShardConfig::with_shards(3),
+            13,
+            25,
+            events.clone(),
+            &sink,
+        );
+        let total = q.len() as u64;
+        let got: Vec<(f64, SimEvent)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(got, expected, "telemetry build changed pop order");
+        let report = sink.finish().unwrap();
+        assert_eq!(report.metrics.counter("queue.events_scheduled"), total);
+        assert_eq!(report.metrics.gauge("queue.shards"), Some(3.0));
+        // heapify appears both as a coordinator phase and per-shard rows
+        assert!(report
+            .phases
+            .phases
+            .iter()
+            .any(|row| row.phase == deflate_telemetry::Phase::Heapify));
+        assert_eq!(report.phases.shards.len(), 3);
     }
 
     #[test]

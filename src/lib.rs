@@ -15,12 +15,14 @@
 //! * [`transient`] — provider-side capacity signals and the typed simulation event engine.
 //! * [`autoscale`] — deflation-aware elastic autoscaling of replica pools.
 //! * [`cluster`] — cluster manager, local controllers and the discrete-event simulator.
+//! * [`telemetry`] — metrics registry, engine phase profiler and structured run traces.
 
 pub use deflate_appsim as appsim;
 pub use deflate_autoscale as autoscale;
 pub use deflate_cluster as cluster;
 pub use deflate_core as core;
 pub use deflate_hypervisor as hypervisor;
+pub use deflate_telemetry as telemetry;
 pub use deflate_traces as traces;
 pub use deflate_transient as transient;
 

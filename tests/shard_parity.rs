@@ -186,6 +186,46 @@ fn fig_autoscale_rows_are_bit_identical_across_shards() {
     }
 }
 
+/// Parity holds with telemetry enabled: every sink on (metrics,
+/// profiler, JSONL event log, Chrome trace — all in memory) at shards
+/// {2, 4} still reproduces the sequential telemetry-off run bit for
+/// bit, and the sinks actually collected data (the case is not
+/// vacuous). Spans and event logging ride the coordinator and worker
+/// threads, so this is the test that would catch observation leaking
+/// into the engine's event order.
+#[test]
+fn telemetry_enabled_runs_are_bit_identical_across_shards() {
+    use deflate_bench::scale_exp::{run_scale_cell, run_scale_cell_with_telemetry, scale_workload};
+    use vmdeflate::telemetry::{TelemetryEventSet, TelemetrySink, TelemetrySpec};
+    let scale = Scale::Quick;
+    let workload = scale_workload(scale, 400);
+    let (baseline, _) = run_scale_cell(&workload, scale, ShardConfig::sequential());
+    for shards in [2, 4] {
+        let spec = TelemetrySpec::profiling()
+            .with_event_log("unused.jsonl")
+            .with_event_kinds(TelemetryEventSet::all())
+            .with_chrome_trace("unused.trace.json");
+        let sink = TelemetrySink::in_memory(&spec);
+        let (observed, _) = run_scale_cell_with_telemetry(
+            &workload,
+            scale,
+            ShardConfig::with_shards(shards),
+            sink.clone(),
+        );
+        assert_eq!(
+            baseline, observed,
+            "telemetry-enabled run diverged at {shards} shards"
+        );
+        let report = sink.report();
+        assert!(!report.phases.is_empty(), "profiler collected nothing");
+        assert!(report.event_lines > 0, "event log collected nothing");
+        assert!(
+            report.phases.shards.len() >= shards,
+            "per-shard worker rows missing"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
