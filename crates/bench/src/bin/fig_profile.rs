@@ -7,9 +7,11 @@
 //!
 //! Exits non-zero when the observability acceptance contract breaks:
 //! attributed phases must cover ≥ 90 % of the engine total,
-//! `placement_rank` must be separately attributed, and the written
-//! trace must validate (parseable JSON array, matched begin/end pairs).
-//! CI runs the quick profile as a smoke step and relies on this.
+//! `placement_rank` must be separately attributed, the combined
+//! `placement_rank` + `placement_index` self-time share must stay below
+//! the 40 % ceiling (the incremental-placement regression gate), and the
+//! written trace must validate (parseable JSON array, matched begin/end
+//! pairs). CI runs the quick profile as a smoke step and relies on this.
 use deflate_bench::profile_exp::{phase_table, profile_sweep, shard_table};
 use deflate_bench::Scale;
 

@@ -32,7 +32,7 @@ use deflate_cluster::spec::{
     paper_server_capacity, servers_for_transient_overcommitment, workload_from_azure,
     MinAllocationRule, WorkloadVm,
 };
-use deflate_core::placement::PartitionScheme;
+use deflate_core::placement::{PartitionScheme, PlacementEngine};
 use deflate_core::policy::ProportionalDeflation;
 use deflate_core::shard::ShardConfig;
 use deflate_hypervisor::domain::DeflationMechanism;
@@ -62,6 +62,23 @@ pub struct ScaleRow {
     /// Whether this run's deterministic outputs matched the 1-shard
     /// baseline of the same cluster size.
     pub parity: bool,
+}
+
+/// The placement-ranking engine the sweep runs every cell under:
+/// sequential (the bit-identity-pinned default), unless the
+/// `DEFLATE_PLACEMENT_WORKERS` environment variable asks for the parallel
+/// fan-out with that many workers (e.g. `DEFLATE_PLACEMENT_WORKERS=4`).
+/// When the override is active the sweep's parity baseline is always an
+/// explicit sequential-engine run, so the parity column doubles as an
+/// at-scale spot check that the engine knob never changes results.
+pub fn sweep_placement_engine() -> PlacementEngine {
+    match std::env::var("DEFLATE_PLACEMENT_WORKERS") {
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(workers) => PlacementEngine::parallel(workers),
+            Err(_) => PlacementEngine::default(),
+        },
+        Err(_) => PlacementEngine::default(),
+    }
 }
 
 /// The shard counts the sweep runs each size under: the scale preset's
@@ -114,6 +131,25 @@ pub fn run_scale_cell_with_telemetry(
     shards: ShardConfig,
     telemetry: TelemetrySink,
 ) -> (SimResult, usize) {
+    run_scale_cell_placed(
+        workload,
+        scale,
+        shards,
+        PlacementEngine::default(),
+        telemetry,
+    )
+}
+
+/// [`run_scale_cell_with_telemetry`] with an explicit placement-ranking
+/// engine — the fully-parameterised cell, used by the sweep when
+/// `DEFLATE_PLACEMENT_WORKERS` is set and by the engine-parity tests.
+pub fn run_scale_cell_placed(
+    workload: &[WorkloadVm],
+    scale: Scale,
+    shards: ShardConfig,
+    engine: PlacementEngine,
+    telemetry: TelemetrySink,
+) -> (SimResult, usize) {
     let capacity = paper_server_capacity();
     let profile = CapacityProfile::spot_market_default();
     let servers =
@@ -145,6 +181,7 @@ pub fn run_scale_cell_with_telemetry(
     )
     .with_utilization_ticks(900.0)
     .with_shards(shards)
+    .with_placement_engine(engine)
     .with_telemetry(telemetry)
     .run(workload);
     (result, servers)
@@ -177,24 +214,32 @@ fn digest(result: &SimResult) -> impl PartialEq + std::fmt::Debug {
 /// shard count of [`sweep_shard_counts`].
 pub fn scale_sweep(scale: Scale) -> Vec<ScaleRow> {
     let shard_counts = sweep_shard_counts(scale);
+    let engine = sweep_placement_engine();
     let mut rows = Vec::new();
     for &vms in scale.scale_sweep_vms() {
         let workload = scale_workload(scale, vms);
         // Parity baseline: the *sequential* engine's digest. Both presets
         // sweep shards = 1 first, so this is normally the first cell; a
-        // `DEFLATE_SHARDS` override without a 1 pays one extra unreported
-        // sequential run per size — the column promises a comparison
-        // against the sequential engine, not against whichever count
-        // happened to run first.
-        let mut baseline_digest = if shard_counts.first() == Some(&1) {
+        // `DEFLATE_SHARDS` override without a 1 — or a parallel
+        // `DEFLATE_PLACEMENT_WORKERS` override — pays one extra unreported
+        // sequential run per size. The column promises a comparison
+        // against the fully sequential engine (1 shard, sequential
+        // placement ranking), not against whichever cell happened to run
+        // first.
+        let mut baseline_digest = if shard_counts.first() == Some(&1) && !engine.is_parallel() {
             None
         } else {
             let (baseline, _) = run_scale_cell(&workload, scale, ShardConfig::sequential());
             Some(digest(&baseline))
         };
         for &shards in &shard_counts {
-            let (result, servers) =
-                run_scale_cell(&workload, scale, ShardConfig::with_shards(shards));
+            let (result, servers) = run_scale_cell_placed(
+                &workload,
+                scale,
+                ShardConfig::with_shards(shards),
+                engine,
+                TelemetrySink::disabled(),
+            );
             let this_digest = digest(&result);
             let parity = match &baseline_digest {
                 None => {

@@ -9,6 +9,12 @@
 //!   placement, the three-step admission protocol, the preemption and
 //!   migration-only baselines, and the transient-capacity reclamation
 //!   handler (deflate → deflate-then-migrate → migrate → evict).
+//! * [`placement`] — the incremental placement index: cached
+//!   [`ServerView`](deflate_core::placement::ServerView)s with dirty
+//!   tracking, so each ranking pass re-derives only the servers whose
+//!   state changed since the last one, and the sequential-or-parallel
+//!   ranking pass itself (the
+//!   [`PlacementEngine`](deflate_core::placement::PlacementEngine) knob).
 //! * [`scheduler`] — the global transfer scheduler: grants
 //!   migration-bandwidth slots to queued transfers in policy order (FIFO /
 //!   smallest-first / deadline-aware EDF with admission control).
@@ -96,6 +102,7 @@
 
 pub mod manager;
 pub mod metrics;
+pub mod placement;
 pub mod scheduler;
 pub mod sim;
 pub mod spec;
@@ -105,6 +112,7 @@ pub use manager::{
     PendingMigration, PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
 };
 pub use metrics::{MigrationEvent, SimResult, VmOutcome, VmRecord};
+pub use placement::PlacementIndex;
 pub use scheduler::{SchedulerStats, TransferScheduler};
 pub use sim::ClusterSimulation;
 pub use spec::{MinAllocationRule, WorkloadVm};

@@ -49,12 +49,13 @@
 //! its page cache, shrinking the hot footprint and the copy time under the
 //! deadline.
 
+use crate::placement::PlacementIndex;
 use crate::scheduler::{SchedulerStats, TransferDecision, TransferRequest, TransferScheduler};
 use deflate_autoscale::ElasticCluster;
 use deflate_core::error::{DeflateError, Result};
 use deflate_core::placement::{
-    BestFit, CosineFitness, FirstFit, PartitionScheme, PartitionedPlacement, PlacementPolicy,
-    ServerView, WorstFit,
+    BestFit, CosineFitness, FirstFit, PartitionScheme, PartitionedPlacement, PlacementDecision,
+    PlacementEngine, PlacementPolicy, ServerView, WorstFit,
 };
 use deflate_core::policy::{DeflationPolicy, RestorePolicy, TransferPolicy};
 use deflate_core::resources::{ResourceKind, ResourceVector};
@@ -65,6 +66,7 @@ use deflate_hypervisor::domain::{CacheRegrowthModel, DeflationMechanism};
 use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_hypervisor::server::SimServer;
 use deflate_telemetry::{Phase, TelemetrySink};
+use deflate_transient::pool::{run_tasks, Task, WorkerPool};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -413,6 +415,17 @@ pub struct ClusterManager {
     /// transfer-booking spans, plus the end-of-run counter publish.
     /// Observation only — never consulted by any decision path.
     telemetry: TelemetrySink,
+    /// Incremental placement index: cached per-server views, re-derived
+    /// only for servers marked dirty since the last ranking pass. Every
+    /// view-affecting mutation must go through
+    /// [`mark_server_dirty`](Self::mark_server_dirty).
+    index: PlacementIndex,
+    /// How ranking passes are evaluated (sequential default, or the
+    /// parallel fan-out — a performance knob, never a semantic one).
+    engine: PlacementEngine,
+    /// Shared persistent worker pool for the ranking fan-out and the
+    /// utilisation sections; `None` falls back to per-section workers.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ClusterManager {
@@ -435,6 +448,7 @@ impl ClusterManager {
                 LocalController::new(server, Arc::clone(&policy), config.mechanism)
             })
             .collect();
+        let index = PlacementIndex::new(controllers.iter().map(|c| c.server().view()).collect());
         ClusterManager {
             controllers,
             placement: config.placement.build(config.partitions),
@@ -456,6 +470,9 @@ impl ClusterManager {
             counters: AdmissionCounters::default(),
             transient: TransientCounters::default(),
             telemetry: TelemetrySink::disabled(),
+            index,
+            engine: PlacementEngine::default(),
+            pool: None,
         }
     }
 
@@ -467,6 +484,66 @@ impl ClusterManager {
     pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Builder-style placement-engine override. The sequential default is
+    /// bit-identical to the pre-index full rescan (pinned by
+    /// `tests/placement_golden.rs`); [`PlacementEngine::Parallel`] fans
+    /// the scoring pass out to worker spans with a deterministic
+    /// span-order reduce, which `tests/shard_parity.rs` pins bit-identical
+    /// to the sequential pass.
+    pub fn with_placement_engine(mut self, engine: PlacementEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The placement engine in effect.
+    pub fn placement_engine(&self) -> PlacementEngine {
+        self.engine
+    }
+
+    /// Builder-style worker pool attachment. Shared by the
+    /// placement-ranking fan-out and the utilisation sections; without
+    /// one, parallel sections fall back to per-section throwaway workers.
+    pub fn with_worker_pool(mut self, pool: Option<Arc<WorkerPool>>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Queue server `idx`'s cached placement view for re-derivation.
+    ///
+    /// Call sites are exactly the **view-affecting** mutations: capacity
+    /// changes (`set_capacity`), domain admission/teardown
+    /// (`create_domain*` / `destroy_domain`), deflation state changes
+    /// (`deflate_to` / `apply_targets` / `deflate_into_capacity` /
+    /// `reinflate*`). Page-cache-only moves (`advance_cache_regrowth`,
+    /// `deflate_for_migration`), usage observations
+    /// (`observe_cpu_utilization`), guest-state copies and the parked
+    /// flag do not change `ServerView` and deliberately skip the mark —
+    /// `tests/placement_equivalence.rs` pins the index against a full
+    /// rescan after every mutation kind.
+    fn mark_server_dirty(&mut self, idx: usize) {
+        self.index.mark_dirty(idx);
+    }
+
+    /// Rank all servers for `vm` through the incremental index: re-derive
+    /// the views of servers dirtied since the last pass, then evaluate the
+    /// placement policy over the cached views (sequentially or fanned out,
+    /// per the [`PlacementEngine`]). `excluded` servers — already tried
+    /// and rejected within the current placement loop, or a migration's
+    /// own source — are filtered from the candidates.
+    fn rank_servers(&mut self, vm: &VmSpec, excluded: &[ServerId]) -> Option<PlacementDecision> {
+        let controllers = &self.controllers;
+        self.index
+            .refresh(&self.telemetry, |i| controllers[i].server().view());
+        self.index.rank(
+            self.placement.as_ref(),
+            vm,
+            excluded,
+            self.engine,
+            self.pool.as_deref(),
+            &self.telemetry,
+        )
     }
 
     /// Builder-style restore-policy override. The default is
@@ -573,9 +650,41 @@ impl ClusterManager {
         self.controllers.iter().map(|c| c.server())
     }
 
-    /// Current placement views of all servers.
+    /// Current placement views of all servers, derived from scratch.
+    /// (The placement paths themselves rank over the incremental index;
+    /// this full rescan remains the reference the equivalence tests —
+    /// and external callers wanting a fresh snapshot — compare against.)
     pub fn views(&self) -> Vec<ServerView> {
         self.controllers.iter().map(|c| c.server().view()).collect()
+    }
+
+    /// Diagnostic: the server the *incremental index* would pick for `vm`
+    /// right now (refreshing dirty views first), without placing anything.
+    pub fn placement_preview(
+        &mut self,
+        vm: &VmSpec,
+        excluded: &[ServerId],
+    ) -> Option<PlacementDecision> {
+        self.rank_servers(vm, excluded)
+    }
+
+    /// Diagnostic: the server a *from-scratch full rescan* (the pre-index
+    /// code path) would pick for `vm` right now. The equivalence battery
+    /// asserts this agrees with [`placement_preview`] after every
+    /// mutation kind.
+    ///
+    /// [`placement_preview`]: Self::placement_preview
+    pub fn placement_full_rescan(
+        &self,
+        vm: &VmSpec,
+        excluded: &[ServerId],
+    ) -> Option<PlacementDecision> {
+        let views: Vec<ServerView> = self
+            .views()
+            .into_iter()
+            .filter(|v| !excluded.contains(&v.id))
+            .collect();
+        self.placement.place(vm, &views)
     }
 
     /// The server index currently hosting a VM.
@@ -699,12 +808,15 @@ impl ClusterManager {
     /// [`observe_vm_utilization`](Self::observe_vm_utilization) for a whole
     /// batch of samples, partitioned by shard: samples are grouped by the
     /// shard owning each VM's server, and each shard's group is applied by
-    /// its own `std::thread` worker holding a disjoint `&mut` slice of the
-    /// per-server controllers. Bit-identical to applying the batch
-    /// sequentially — every domain is owned by exactly one shard, and a VM
-    /// appears at most once per batch, so no ordering between shards is
-    /// observable. Sequential configurations (`shards == 1`) spawn no
-    /// thread at all.
+    /// a worker of the persistent [`WorkerPool`] (or a per-call fallback
+    /// pool) holding a disjoint `&mut` slice of the per-server
+    /// controllers. Bit-identical to applying the batch sequentially —
+    /// every domain is owned by exactly one shard, and a VM appears at
+    /// most once per batch, so no ordering between shards is observable.
+    /// Sequential configurations (`shards == 1`) submit no task at all.
+    ///
+    /// Utilisation observations feed only the dirty-rate history — they
+    /// never change a `ServerView` — so no placement-index mark is needed.
     pub fn observe_vm_utilizations(&mut self, samples: &[(VmId, f64)], shards: ShardConfig) {
         if !shards.is_parallel() {
             for &(vm, sample) in samples {
@@ -720,25 +832,25 @@ impl ClusterManager {
             }
         }
         let spans = shards.spans(num_servers);
-        std::thread::scope(|scope| {
-            let mut rest: &mut [LocalController] = &mut self.controllers;
-            let mut offset = 0;
-            for (span, bucket) in spans.into_iter().zip(buckets) {
-                let (shard_controllers, tail) = rest.split_at_mut(span.end - offset);
-                rest = tail;
-                let base = offset;
-                offset = span.end;
-                scope.spawn(move || {
-                    for (idx, vm, sample) in bucket {
-                        if let Some(domain) =
-                            shard_controllers[idx - base].server_mut().domain_mut(vm)
-                        {
-                            domain.observe_cpu_utilization(sample);
-                        }
+        let pool = self.pool.clone();
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(spans.len());
+        let mut rest: &mut [LocalController] = &mut self.controllers;
+        let mut offset = 0;
+        for (span, bucket) in spans.into_iter().zip(buckets) {
+            let (shard_controllers, tail) = rest.split_at_mut(span.end - offset);
+            rest = tail;
+            let base = offset;
+            offset = span.end;
+            tasks.push(Box::new(move || {
+                for (idx, vm, sample) in bucket {
+                    if let Some(domain) = shard_controllers[idx - base].server_mut().domain_mut(vm)
+                    {
+                        domain.observe_cpu_utilization(sample);
                     }
-                });
-            }
-        });
+                }
+            }));
+        }
+        run_tasks(pool.as_deref(), shards.count(), tasks);
     }
 
     /// Cluster-wide `(effective CPU used, CPU capacity)` totals — the
@@ -751,33 +863,40 @@ impl ClusterManager {
     pub fn cpu_usage_snapshot(&self, shards: ShardConfig) -> (f64, f64) {
         let per_server: Vec<(f64, f64)> = if shards.is_parallel() {
             let spans = shards.spans(self.controllers.len());
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = spans
-                    .into_iter()
+            let mut partials: Vec<Option<Vec<(f64, f64)>>> = vec![None; spans.len()];
+            {
+                let tasks: Vec<Task<'_>> = partials
+                    .iter_mut()
+                    .zip(&spans)
                     .enumerate()
-                    .map(|(shard, span)| {
-                        let controllers = &self.controllers[span];
+                    .map(|(shard, (slot, span))| {
+                        let controllers = &self.controllers[span.clone()];
                         let worker_sink = self.telemetry.clone();
-                        scope.spawn(move || {
+                        Box::new(move || {
                             let _span = worker_sink.shard_span(shard, Phase::UtilizationSampling);
-                            controllers
-                                .iter()
-                                .map(|c| {
-                                    let server = c.server();
-                                    (
-                                        server.effective_used()[ResourceKind::Cpu],
-                                        server.capacity[ResourceKind::Cpu],
-                                    )
-                                })
-                                .collect::<Vec<_>>()
-                        })
+                            *slot = Some(
+                                controllers
+                                    .iter()
+                                    .map(|c| {
+                                        let server = c.server();
+                                        (
+                                            server.effective_used()[ResourceKind::Cpu],
+                                            server.capacity[ResourceKind::Cpu],
+                                        )
+                                    })
+                                    .collect::<Vec<_>>(),
+                            );
+                        }) as Task<'_>
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("shard snapshot worker panicked"))
-                    .collect()
-            })
+                run_tasks(self.pool.as_deref(), shards.count(), tasks);
+            }
+            // Flatten in span order — the same server order the sequential
+            // branch reads, so the fold below is bit-identical.
+            partials
+                .into_iter()
+                .flat_map(|slot| slot.expect("snapshot task completed"))
+                .collect()
         } else {
             self.controllers
                 .iter()
@@ -826,15 +945,13 @@ impl ClusterManager {
     fn place_with_deflation(&mut self, spec: &VmSpec) -> PlacementResult {
         let mut excluded: Vec<ServerId> = Vec::new();
         loop {
-            let views: Vec<ServerView> = self
-                .views()
-                .into_iter()
-                .filter(|v| !excluded.contains(&v.id))
-                .collect();
-            let Some(decision) = self.placement.place(spec, &views) else {
+            let Some(decision) = self.rank_servers(spec, &excluded) else {
                 return PlacementResult::Rejected;
             };
             let idx = self.server_index(decision.server);
+            // Admission deflates residents and/or adds a domain; a failed
+            // attempt can still have deflated, so mark unconditionally.
+            self.mark_server_dirty(idx);
             match self.controllers[idx].try_admit(spec.clone()) {
                 Ok(AdmissionOutcome::AdmittedWithoutDeflation) => {
                     self.vm_location.insert(spec.id, idx);
@@ -865,15 +982,13 @@ impl ClusterManager {
     fn place_with_preemption(&mut self, spec: &VmSpec) -> PlacementResult {
         let mut excluded: Vec<ServerId> = Vec::new();
         loop {
-            let views: Vec<ServerView> = self
-                .views()
-                .into_iter()
-                .filter(|v| !excluded.contains(&v.id))
-                .collect();
-            let Some(decision) = self.placement.place(spec, &views) else {
+            let Some(decision) = self.rank_servers(spec, &excluded) else {
                 return PlacementResult::Rejected;
             };
             let idx = self.server_index(decision.server);
+            // Victim teardown and the admission below both change the
+            // server's view; mark once up front.
+            self.mark_server_dirty(idx);
             // Preempt lowest-priority deflatable VMs until the new VM fits.
             let mut preempted = Vec::new();
             loop {
@@ -982,6 +1097,7 @@ impl ClusterManager {
         self.controllers[idx]
             .server_mut()
             .set_capacity(self.base_capacity * fraction);
+        self.mark_server_dirty(idx);
         self.absorb_overage(idx, now_secs, &mut outcome);
         // Whatever room deflation/migration/preemption left is handed back
         // to the surviving residents.
@@ -994,6 +1110,10 @@ impl ClusterManager {
     /// keep it transiently over capacity, in which case there is no room to
     /// hand out anyway (the completion of each transfer reinflates then).
     fn reinflate_if_fits(&mut self, idx: usize) {
+        // Callers reach here right after a departure / capacity change on
+        // `idx`; marking unconditionally (deduped) covers both that
+        // mutation and any reinflation below.
+        self.mark_server_dirty(idx);
         if self.controllers[idx]
             .server()
             .check_capacity_invariant()
@@ -1012,6 +1132,10 @@ impl ClusterManager {
     /// Reinflation after departures and migration completions stays
     /// greedy — freed room there is not a signal edge.
     fn reinflate_after_restore(&mut self, idx: usize, now_secs: f64) {
+        // The capacity change that precedes every call already dirties the
+        // view; re-mark (deduped) so the reinflation below is covered even
+        // if a future caller skips the capacity change.
+        self.mark_server_dirty(idx);
         if now_secs - self.last_reclaim_secs[idx] < self.restore_policy.hysteresis_secs {
             return;
         }
@@ -1060,7 +1184,9 @@ impl ClusterManager {
         let deadline = now_secs + self.cost_model.reclaim_deadline_secs.max(0.0);
         match self.mode.clone() {
             ReclamationMode::Deflation(_) => {
-                if self.controllers[idx].deflate_into_capacity().is_zero() {
+                let remaining = self.controllers[idx].deflate_into_capacity();
+                self.mark_server_dirty(idx);
+                if remaining.is_zero() {
                     self.transient.absorbed_by_deflation += 1;
                     return;
                 }
@@ -1101,6 +1227,7 @@ impl ClusterManager {
         self.controllers[idx]
             .server_mut()
             .set_capacity(self.base_capacity * fraction);
+        self.mark_server_dirty(idx);
         self.reinflate_after_restore(idx, now_secs);
         outcome.touch(server);
         // A "restitution" to a fraction below the current usage is really a
@@ -1165,6 +1292,7 @@ impl ClusterManager {
                     // guest state travelling home with it.
                     let src = self.controllers[current].server().domain(vm).cloned();
                     self.depart_and_reinflate(current, vm);
+                    self.mark_server_dirty(idx);
                     if self.controllers[idx]
                         .server_mut()
                         .create_domain(spec, self.mechanism)
@@ -1206,6 +1334,7 @@ impl ClusterManager {
                     // MigrationComplete event land it back home. Staged like
                     // any other transfer; the deadline is infinite because
                     // restitutions are not emergencies.
+                    self.mark_server_dirty(idx);
                     if self.controllers[idx]
                         .server_mut()
                         .create_domain(spec, self.mechanism)
@@ -1355,6 +1484,7 @@ impl ClusterManager {
                     }
                 }
                 let _ = self.controllers[source].server_mut().destroy_domain(vm);
+                self.mark_server_dirty(source);
                 self.vm_location.insert(vm, target);
                 self.migration_origin.entry(vm).or_insert(source);
                 self.transient.migrations += 1;
@@ -1498,6 +1628,10 @@ impl ClusterManager {
                     dst.migrate_guest_state_from(&src);
                 }
             }
+            // The guest-state copy above carries the source's hotplug /
+            // deflation state onto the destination domain, changing its
+            // effective allocation — a view-affecting mutation.
+            self.mark_server_dirty(flight.dest);
             self.depart_and_reinflate(flight.source, flight.vm);
             self.vm_location.insert(flight.vm, flight.dest);
             if flight.back {
@@ -1565,16 +1699,14 @@ impl ClusterManager {
         deflation_aware: bool,
     ) -> Option<usize> {
         loop {
-            let views: Vec<ServerView> = self
-                .views()
-                .into_iter()
-                .filter(|v| !excluded.contains(&v.id))
-                .collect();
-            if views.is_empty() {
+            if excluded.len() >= self.controllers.len() {
                 return None;
             }
-            let decision = self.placement.place(spec, &views)?;
+            let decision = self.rank_servers(spec, &excluded)?;
             let idx = self.server_index(decision.server);
+            // Both admission paths below may mutate the target (deflation
+            // and/or a new domain); mark before attempting.
+            self.mark_server_dirty(idx);
             let admitted = if deflation_aware {
                 matches!(
                     self.controllers[idx].try_admit(spec.clone()),
@@ -1663,6 +1795,7 @@ impl ClusterManager {
             self.depart_and_reinflate(flight.dest, vm);
         } else if let Some(&loc) = self.vm_location.get(&vm) {
             let _ = self.controllers[loc].server_mut().destroy_domain(vm);
+            self.mark_server_dirty(loc);
         }
         self.vm_location.remove(&vm);
         self.migration_origin.remove(&vm);

@@ -56,6 +56,7 @@ use crate::manager::{ClusterConfig, ClusterManager, PlacementResult, Reclamation
 use crate::metrics::{MigrationEvent, RunStats, SimResult, VmOutcome, VmRecord};
 use crate::spec::WorkloadVm;
 use deflate_autoscale::{Autoscaler, ElasticApp};
+use deflate_core::placement::PlacementEngine;
 use deflate_core::policy::{AutoscalePolicy, RestorePolicy, TransferPolicy};
 use deflate_core::shard::ShardConfig;
 use deflate_core::telemetry::TelemetrySpec;
@@ -64,9 +65,11 @@ use deflate_hypervisor::domain::CacheRegrowthModel;
 use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_telemetry::{EventField, Phase, TelemetryEventKind, TelemetrySink};
 use deflate_transient::events::SimEvent;
+use deflate_transient::pool::{run_tasks, Task, WorkerPool};
 use deflate_transient::sharded::ShardedEventQueue;
 use deflate_transient::signal::CapacitySchedule;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The trace-driven cluster simulator.
 pub struct ClusterSimulation {
@@ -82,6 +85,7 @@ pub struct ClusterSimulation {
     autoscale_policy: AutoscalePolicy,
     elastic_apps: Vec<ElasticApp>,
     shards: ShardConfig,
+    placement_engine: PlacementEngine,
     telemetry: TelemetrySink,
 }
 
@@ -103,6 +107,7 @@ impl ClusterSimulation {
             autoscale_policy: AutoscalePolicy::default(),
             elastic_apps: Vec::new(),
             shards: ShardConfig::sequential(),
+            placement_engine: PlacementEngine::default(),
             telemetry: TelemetrySink::disabled(),
         }
     }
@@ -138,6 +143,17 @@ impl ClusterSimulation {
     /// goes on multi-core hardware.
     pub fn with_shards(mut self, shards: ShardConfig) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Evaluate placement-ranking passes under the given
+    /// [`PlacementEngine`]: the sequential default is bit-identical to the
+    /// pre-index full rescan, and the parallel fan-out is bit-identical to
+    /// the sequential pass (pinned by `tests/placement_golden.rs` and
+    /// `tests/shard_parity.rs`) — like [`with_shards`](Self::with_shards),
+    /// a performance knob that never changes results.
+    pub fn with_placement_engine(mut self, engine: PlacementEngine) -> Self {
+        self.placement_engine = engine;
         self
     }
 
@@ -219,11 +235,20 @@ impl ClusterSimulation {
         // phases below) is `fig_profile`'s "other" row, so the phase
         // table always sums to the engine total.
         let _engine_total = self.telemetry.span(Phase::EngineTotal);
+        // One persistent worker pool is shared by every parallel section of
+        // the run — shard heapify, record init, utilisation sampling,
+        // snapshotting and the placement ranking fan-out — instead of each
+        // section respawning scoped threads. Sized for the wider of the two
+        // parallelism knobs; absent entirely for fully sequential runs.
+        let pool_threads = self.shards.count().max(self.placement_engine.workers());
+        let pool = (pool_threads > 1).then(|| Arc::new(WorkerPool::new(pool_threads)));
         let mut manager = ClusterManager::new(&self.config, self.mode.clone())
             .with_migration_cost(self.migration_cost)
             .with_transfer_policy(self.transfer_policy)
             .with_restore_policy(self.restore_policy)
             .with_cache_regrowth(self.cache_regrowth)
+            .with_placement_engine(self.placement_engine)
+            .with_worker_pool(pool.clone())
             .with_telemetry(self.telemetry.clone());
         // The autoscaler exists only for enabled policies: a Disabled run
         // schedules no scale events and touches no autoscaler state, so it
@@ -277,12 +302,13 @@ impl ClusterSimulation {
             }
             events
         };
-        let mut queue = ShardedEventQueue::build_with_telemetry(
+        let mut queue = ShardedEventQueue::build_with_workers(
             self.shards,
             self.config.num_servers,
             workload.len(),
             events,
             &self.telemetry,
+            pool.as_deref(),
         );
 
         // Working state.
@@ -293,7 +319,7 @@ impl ClusterSimulation {
                 .enumerate()
                 .map(|(i, vm)| (vm.spec.id, i))
                 .collect();
-            (index_of, self.initial_records(workload))
+            (index_of, self.initial_records(workload, pool.as_deref()))
         };
         let mut running: Vec<bool> = vec![false; workload.len()];
         let mut migrations: Vec<MigrationEvent> = Vec::new();
@@ -418,7 +444,13 @@ impl ClusterSimulation {
                     let _span = self.telemetry.span(Phase::ReclaimLadder);
                     {
                         let _sampling = self.telemetry.span(Phase::UtilizationSampling);
-                        self.observe_utilizations(&mut manager, workload, &running, time);
+                        self.observe_utilizations(
+                            &mut manager,
+                            workload,
+                            &running,
+                            time,
+                            pool.as_deref(),
+                        );
                     }
                     let outcome = manager.reclaim_capacity(server, available_fraction, time);
                     if self.telemetry.wants(TelemetryEventKind::CapacityReclaim) {
@@ -455,7 +487,13 @@ impl ClusterSimulation {
                     let _span = self.telemetry.span(Phase::ReclaimLadder);
                     {
                         let _sampling = self.telemetry.span(Phase::UtilizationSampling);
-                        self.observe_utilizations(&mut manager, workload, &running, time);
+                        self.observe_utilizations(
+                            &mut manager,
+                            workload,
+                            &running,
+                            time,
+                            pool.as_deref(),
+                        );
                     }
                     let outcome = manager.restore_capacity(
                         server,
@@ -647,7 +685,7 @@ impl ClusterSimulation {
     /// to one worker per shard for large workloads. Record `i` depends only
     /// on workload entry `i`, so chunked construction is trivially
     /// bit-identical to the sequential pass.
-    fn initial_records(&self, workload: &[WorkloadVm]) -> Vec<VmRecord> {
+    fn initial_records(&self, workload: &[WorkloadVm], pool: Option<&WorkerPool>) -> Vec<VmRecord> {
         let make = |vm: &WorkloadVm| VmRecord {
             spec: vm.spec.clone(),
             arrival_secs: vm.arrival_secs,
@@ -659,22 +697,26 @@ impl ClusterSimulation {
         if !self.shards.is_parallel() {
             return workload.iter().map(make).collect();
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .spans(workload.len())
-                .into_iter()
-                .map(|span| {
-                    let chunk = &workload[span];
-                    scope.spawn(move || chunk.iter().map(make).collect::<Vec<_>>())
-                })
-                .collect();
-            let mut records = Vec::with_capacity(workload.len());
-            for handle in handles {
-                records.extend(handle.join().expect("record-init worker panicked"));
+        let spans = self.shards.spans(workload.len());
+        let mut partials: Vec<Option<Vec<VmRecord>>> = (0..spans.len()).map(|_| None).collect();
+        {
+            let mut tasks: Vec<Task<'_>> = Vec::with_capacity(spans.len());
+            let mut slots = partials.as_mut_slice();
+            for span in &spans {
+                let (slot, rest) = slots.split_first_mut().expect("one slot per span");
+                slots = rest;
+                let chunk = &workload[span.clone()];
+                tasks.push(Box::new(move || {
+                    *slot = Some(chunk.iter().map(make).collect());
+                }));
             }
-            records
-        })
+            run_tasks(pool, self.shards.count(), tasks);
+        }
+        let mut records = Vec::with_capacity(workload.len());
+        for partial in partials {
+            records.extend(partial.expect("record-init worker ran"));
+        }
+        records
     }
 
     /// Refresh every running VM's recent-utilisation sample from its trace
@@ -696,6 +738,7 @@ impl ClusterSimulation {
         workload: &[WorkloadVm],
         running: &[bool],
         time: f64,
+        pool: Option<&WorkerPool>,
     ) {
         if manager.migration_cost().dirty_rate_mbps <= 0.0 {
             return;
@@ -704,28 +747,33 @@ impl ClusterSimulation {
             running[i].then(|| (vm.spec.id, vm.cpu_util.at(time - vm.arrival_secs)))
         };
         let samples: Vec<(VmId, f64)> = if self.shards.is_parallel() {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .spans(workload.len())
-                    .into_iter()
-                    .map(|span| {
-                        let base = span.start;
-                        let chunk = &workload[span];
-                        scope.spawn(move || {
+            let spans = self.shards.spans(workload.len());
+            let mut partials: Vec<Option<Vec<(VmId, f64)>>> =
+                (0..spans.len()).map(|_| None).collect();
+            {
+                let mut tasks: Vec<Task<'_>> = Vec::with_capacity(spans.len());
+                let mut slots = partials.as_mut_slice();
+                for span in &spans {
+                    let (slot, rest) = slots.split_first_mut().expect("one slot per span");
+                    slots = rest;
+                    let base = span.start;
+                    let chunk = &workload[span.clone()];
+                    tasks.push(Box::new(move || {
+                        *slot = Some(
                             chunk
                                 .iter()
                                 .enumerate()
                                 .filter_map(|(k, vm)| sample((base + k, vm)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("trace-sampling worker panicked"))
-                    .collect()
-            })
+                                .collect(),
+                        );
+                    }));
+                }
+                run_tasks(pool, self.shards.count(), tasks);
+            }
+            partials
+                .into_iter()
+                .flat_map(|p| p.expect("trace-sampling worker ran"))
+                .collect()
         } else {
             workload.iter().enumerate().filter_map(sample).collect()
         };

@@ -19,10 +19,12 @@
 //!   own pool of servers.
 
 pub mod binpack;
+pub mod engine;
 pub mod fitness;
 pub mod partition;
 
 pub use binpack::{BestFit, FirstFit, WorstFit};
+pub use engine::PlacementEngine;
 pub use fitness::CosineFitness;
 pub use partition::{PartitionScheme, PartitionedPlacement};
 

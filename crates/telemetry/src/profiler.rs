@@ -45,6 +45,10 @@ pub enum Phase {
     /// ROADMAP item 1 bottleneck, attributed separately from
     /// [`Phase::Arrival`].
     PlacementRank,
+    /// Re-scoring servers whose state changed since the last placement
+    /// — the incremental score index's maintenance cost, nested inside
+    /// [`Phase::PlacementRank`] so the two rows stay disjoint.
+    PlacementIndex,
     /// VM departure handling.
     Departure,
     /// The deflate → migrate → evict reclaim ladder for one capacity
@@ -64,7 +68,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 14] = [
+    pub const ALL: [Phase; 15] = [
         Phase::EngineTotal,
         Phase::RecordInit,
         Phase::ScheduleBuild,
@@ -72,6 +76,7 @@ impl Phase {
         Phase::CoordinatorMerge,
         Phase::Arrival,
         Phase::PlacementRank,
+        Phase::PlacementIndex,
         Phase::Departure,
         Phase::ReclaimLadder,
         Phase::TransferBooking,
@@ -92,6 +97,7 @@ impl Phase {
             Phase::CoordinatorMerge => "coordinator_merge",
             Phase::Arrival => "arrival",
             Phase::PlacementRank => "placement_rank",
+            Phase::PlacementIndex => "placement_index",
             Phase::Departure => "departure",
             Phase::ReclaimLadder => "reclaim_ladder",
             Phase::TransferBooking => "transfer_booking",
@@ -300,5 +306,6 @@ mod tests {
             assert!(seen.insert(phase.name()), "duplicate name {}", phase.name());
         }
         assert_eq!(Phase::PlacementRank.name(), "placement_rank");
+        assert_eq!(Phase::PlacementIndex.name(), "placement_index");
     }
 }

@@ -30,6 +30,11 @@
 //!   default 1 = sequential) selects the shard count; the determinism
 //!   contract is pinned by `tests/shard_parity.rs` and documented in
 //!   `docs/PERFORMANCE.md`.
+//! * [`pool`] — the **persistent worker pool** the engine's parallel
+//!   sections share ([`pool::WorkerPool`]): heapify, utilisation
+//!   sampling, usage snapshotting and the placement-ranking fan-out
+//!   submit borrowed task batches to long-lived workers instead of
+//!   respawning scoped threads per section.
 //!
 //! The cluster simulator (`deflate-cluster`) replays workloads through the
 //! event engine and reacts to capacity events by deflating, migrating or —
@@ -106,16 +111,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod events;
+pub mod pool;
 pub mod sharded;
 pub mod signal;
 
 pub use events::{EventQueue, SimEvent};
+pub use pool::WorkerPool;
 pub use sharded::ShardedEventQueue;
 pub use signal::{CapacityChange, CapacityProfile, CapacitySchedule, TransientConfig};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::events::{EventQueue, SimEvent};
+    pub use crate::pool::WorkerPool;
     pub use crate::sharded::ShardedEventQueue;
     pub use crate::signal::{CapacityChange, CapacityProfile, CapacitySchedule, TransientConfig};
 }

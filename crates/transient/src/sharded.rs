@@ -34,6 +34,7 @@
 //! module replaced.
 
 use crate::events::{event_cmp, EventQueue, SimEvent};
+use crate::pool::{run_tasks, Task, WorkerPool};
 use deflate_core::shard::ShardConfig;
 use deflate_telemetry::{Phase, TelemetrySink};
 
@@ -131,6 +132,22 @@ impl ShardedEventQueue {
         events: Vec<(f64, SimEvent)>,
         telemetry: &TelemetrySink,
     ) -> Self {
+        Self::build_with_workers(config, num_servers, num_slots, events, telemetry, None)
+    }
+
+    /// [`build_with_telemetry`](Self::build_with_telemetry) with the
+    /// parallel heapify submitted to a persistent [`WorkerPool`] instead
+    /// of a throwaway one — the simulation loop shares one pool across
+    /// every parallel section of a run. The built queue is identical
+    /// either way.
+    pub fn build_with_workers(
+        config: ShardConfig,
+        num_servers: usize,
+        num_slots: usize,
+        events: Vec<(f64, SimEvent)>,
+        telemetry: &TelemetrySink,
+        pool: Option<&WorkerPool>,
+    ) -> Self {
         let _heapify = telemetry.span(Phase::Heapify);
         let mut queue = ShardedEventQueue::new(config, num_servers, num_slots);
         if !config.is_parallel() {
@@ -142,29 +159,29 @@ impl ShardedEventQueue {
         // bucket in parallel — one linear `from_events` build per worker
         // rather than n sift-up pushes. Worker panics (only possible on
         // non-finite timestamps, which the single-queue path rejects
-        // identically) propagate via the scope join.
+        // identically) propagate via the pool's batch join.
         let mut buckets: Vec<Vec<(f64, SimEvent)>> = vec![Vec::new(); config.shards];
         for (t, e) in events {
             buckets[queue.route(&e)].push((t, e));
         }
-        let built: Vec<EventQueue> = std::thread::scope(|scope| {
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .enumerate()
-                .map(|(shard, bucket)| {
-                    let worker_sink = telemetry.clone();
-                    scope.spawn(move || {
-                        let _span = worker_sink.shard_span(shard, Phase::Heapify);
-                        EventQueue::from_events(bucket)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard heapify worker panicked"))
-                .collect()
-        });
-        queue.shards = built;
+        let mut built: Vec<Option<EventQueue>> = (0..config.shards).map(|_| None).collect();
+        let tasks: Vec<Task<'_>> = built
+            .iter_mut()
+            .zip(buckets)
+            .enumerate()
+            .map(|(shard, (slot, bucket))| {
+                let worker_sink = telemetry.clone();
+                Box::new(move || {
+                    let _span = worker_sink.shard_span(shard, Phase::Heapify);
+                    *slot = Some(EventQueue::from_events(bucket));
+                }) as Task<'_>
+            })
+            .collect();
+        run_tasks(pool, config.shards, tasks);
+        queue.shards = built
+            .into_iter()
+            .map(|heap| heap.expect("shard heapify completed"))
+            .collect();
         queue.publish_build_metrics(telemetry);
         queue
     }
