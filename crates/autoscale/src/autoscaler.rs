@@ -15,6 +15,8 @@
 
 use crate::app::ElasticApp;
 use crate::stats::{AutoscaleStats, LATENCY_CAP_SECS};
+use deflate_appsim::latency::LatencyStats;
+use deflate_core::checkpoint::{ByteReader, ByteWriter, CheckpointError, CheckpointResult};
 use deflate_core::policy::{AutoscaleParams, AutoscalePolicy};
 use deflate_core::vm::{ServerId, VmId, VmSpec};
 use deflate_transient::events::SimEvent;
@@ -103,6 +105,85 @@ impl Autoscaler {
                 .collect(),
             stats: AutoscaleStats::default(),
         }
+    }
+
+    /// Serialize the control loop's **dynamic** state for an engine
+    /// checkpoint: per-application member pools (vm id, parked flag,
+    /// serving-from time, in pool order), the fresh-id counter, the
+    /// cooldown clock, and the accumulated [`AutoscaleStats`]. The policy
+    /// parameters and application specs are configuration — the restoring
+    /// side rebuilds the autoscaler from the same [`AutoscalePolicy`] and
+    /// [`ElasticApp`] list before applying the snapshot.
+    pub fn write_snapshot(&self, w: &mut ByteWriter) {
+        w.put_usize(self.apps.len());
+        for app in &self.apps {
+            w.put_usize(app.members.len());
+            for m in &app.members {
+                w.put_u64(m.vm.0);
+                w.put_bool(m.parked);
+                w.put_f64(m.serving_from);
+            }
+            w.put_u64(app.launched);
+            w.put_f64(app.cooldown_until);
+        }
+        let s = &self.stats;
+        w.put_usize(s.scale_out_actions);
+        w.put_usize(s.scale_in_actions);
+        w.put_usize(s.launches);
+        w.put_usize(s.launch_failures);
+        w.put_usize(s.reinflations);
+        w.put_usize(s.parks);
+        w.put_usize(s.retirements);
+        w.put_usize(s.replicas_lost);
+        w.put_usize(s.ticks);
+        w.put_usize(s.overload_ticks);
+        w.put_f64(s.setpoint_error_sum);
+        s.latency.write_snapshot(w);
+        w.put_usize(s.final_active);
+        w.put_usize(s.final_parked);
+    }
+
+    /// Restore [`write_snapshot`](Self::write_snapshot) state onto a
+    /// freshly constructed autoscaler (same policy and application list).
+    pub fn read_snapshot(&mut self, r: &mut ByteReader<'_>) -> CheckpointResult<()> {
+        let num_apps = r.get_usize()?;
+        if num_apps != self.apps.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot has {} apps, autoscaler has {}",
+                num_apps,
+                self.apps.len()
+            )));
+        }
+        for app in &mut self.apps {
+            let members = r.get_usize()?;
+            app.members.clear();
+            for _ in 0..members {
+                app.members.push(Member {
+                    vm: VmId(r.get_u64()?),
+                    parked: r.get_bool()?,
+                    serving_from: r.get_f64()?,
+                });
+            }
+            app.launched = r.get_u64()?;
+            app.cooldown_until = r.get_f64()?;
+        }
+        self.stats = AutoscaleStats {
+            scale_out_actions: r.get_usize()?,
+            scale_in_actions: r.get_usize()?,
+            launches: r.get_usize()?,
+            launch_failures: r.get_usize()?,
+            reinflations: r.get_usize()?,
+            parks: r.get_usize()?,
+            retirements: r.get_usize()?,
+            replicas_lost: r.get_usize()?,
+            ticks: r.get_usize()?,
+            overload_ticks: r.get_usize()?,
+            setpoint_error_sum: r.get_f64()?,
+            latency: LatencyStats::read_snapshot(r)?,
+            final_active: r.get_usize()?,
+            final_parked: r.get_usize()?,
+        };
+        Ok(())
     }
 
     /// The bootstrap events: one `ScaleOut` per application at its start

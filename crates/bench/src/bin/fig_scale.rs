@@ -7,10 +7,20 @@
 //! CI runs the quick sweep as a smoke step and relies on this to go red
 //! if the sharded engine's bit-identity contract breaks at experiment
 //! scale.
-use deflate_bench::scale_exp::{scale_sweep, table_from_rows};
+//!
+//! Set `DEFLATE_SCALE_STATE=/path/to/file` to make the sweep
+//! **resumable**: every measured cell is flushed to the state file, and
+//! a re-run skips cells already recorded there — an interrupted
+//! million-VM sweep picks up at the cell it died in instead of starting
+//! over. Delete the file to force a fresh sweep.
+use deflate_bench::scale_exp::{scale_sweep, scale_sweep_resumable, table_from_rows};
 use deflate_bench::Scale;
 fn main() {
-    let rows = scale_sweep(Scale::from_env_and_args());
+    let scale = Scale::from_env_and_args();
+    let rows = match std::env::var("DEFLATE_SCALE_STATE") {
+        Ok(path) if !path.is_empty() => scale_sweep_resumable(scale, std::path::Path::new(&path)),
+        _ => scale_sweep(scale),
+    };
     table_from_rows(&rows).print();
     let diverged: Vec<String> = rows
         .iter()

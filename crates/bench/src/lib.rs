@@ -18,6 +18,7 @@
 //! | [`transient_exp`] | transient-capacity reclamation comparison + migration-bandwidth sweep + transfer-scheduler sweep |
 //! | [`autoscale_exp`] | elastic autoscaling under transient capacity: launch-only vs deflation-aware (`fig_autoscale`) |
 //! | [`scale_exp`] | engine-scaling sweep: cluster size × shard count (`fig_scale`) |
+//! | [`whatif_exp`] | what-if meta-scheduler: checkpoint/fork model-predictive transfer-policy selection (`fig_whatif`) |
 //! | [`profile_exp`] | engine phase profile: per-phase self time + Chrome trace (`fig_profile`) |
 //! | [`ablation`] | placement / partition / mechanism ablations |
 //!
@@ -47,15 +48,17 @@ pub mod scale;
 pub mod scale_exp;
 pub mod transient_exp;
 pub mod web;
+pub mod whatif_exp;
 
 pub use report::Table;
 pub use scale::Scale;
 
 /// Print every figure's table at the given scale (used by the `all_figures`
-/// binary). The engine-scaling sweep (`fig_scale`) is deliberately not
-/// included: it measures the simulator rather than reproducing a figure,
-/// and its full-scale million-VM rows would dominate the sequence — run it
-/// on its own.
+/// binary). The engine-scaling sweep (`fig_scale`) and the what-if
+/// meta-scheduler (`fig_whatif`) are deliberately not included: they
+/// measure the simulator rather than reproducing a figure, and the
+/// full-scale million-VM sweep rows would dominate the sequence — run
+/// them on their own.
 pub fn print_all(scale: Scale) {
     apps_exp::fig03().print();
     feasibility::fig05(scale).print();

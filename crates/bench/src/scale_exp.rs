@@ -32,6 +32,7 @@ use deflate_cluster::spec::{
     paper_server_capacity, servers_for_transient_overcommitment, workload_from_azure,
     MinAllocationRule, WorkloadVm,
 };
+use deflate_core::checkpoint::{ByteReader, ByteWriter, CheckpointError, CheckpointResult};
 use deflate_core::placement::{PartitionScheme, PlacementEngine};
 use deflate_core::policy::ProportionalDeflation;
 use deflate_core::shard::ShardConfig;
@@ -40,6 +41,8 @@ use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_telemetry::TelemetrySink;
 use deflate_traces::azure::{AzureTraceConfig, AzureTraceGenerator};
 use deflate_transient::signal::{CapacityProfile, CapacitySchedule, TransientConfig};
+use std::fs;
+use std::path::Path;
 use std::sync::Arc;
 
 /// One measured row of the scaling sweep.
@@ -213,26 +216,57 @@ fn digest(result: &SimResult) -> impl PartialEq + std::fmt::Debug {
 /// Run the full sweep: every cluster size of the scale preset × every
 /// shard count of [`sweep_shard_counts`].
 pub fn scale_sweep(scale: Scale) -> Vec<ScaleRow> {
+    scale_sweep_with_resume(scale, Vec::new(), |_| {})
+}
+
+/// [`scale_sweep`] with **row-level resume**: cells already present in
+/// `done` (matched on `(vms, shards)`) are skipped — a fully measured
+/// cluster size does not even rebuild its workload — and `flush` is
+/// called with the cumulative row set after every newly measured cell,
+/// so an interrupted sweep loses at most the cell it was inside.
+/// [`scale_sweep_resumable`] wires this to an on-disk state file.
+///
+/// Resuming into a *partially* measured size re-runs the unreported
+/// sequential baseline for that size (the parity digest is deliberately
+/// not persisted — it is a full `SimResult` tuple, and re-deriving it
+/// keeps the state file small and version-stable). Returned rows are
+/// sorted by `(vms, shards)`, the preset's own order.
+pub fn scale_sweep_with_resume(
+    scale: Scale,
+    done: Vec<ScaleRow>,
+    mut flush: impl FnMut(&[ScaleRow]),
+) -> Vec<ScaleRow> {
     let shard_counts = sweep_shard_counts(scale);
     let engine = sweep_placement_engine();
-    let mut rows = Vec::new();
+    let mut rows = done;
     for &vms in scale.scale_sweep_vms() {
+        let have = |rows: &[ScaleRow], shards: usize| {
+            rows.iter().any(|r| r.vms == vms && r.shards == shards)
+        };
+        if shard_counts.iter().all(|&s| have(&rows, s)) {
+            continue;
+        }
         let workload = scale_workload(scale, vms);
         // Parity baseline: the *sequential* engine's digest. Both presets
         // sweep shards = 1 first, so this is normally the first cell; a
-        // `DEFLATE_SHARDS` override without a 1 — or a parallel
-        // `DEFLATE_PLACEMENT_WORKERS` override — pays one extra unreported
-        // sequential run per size. The column promises a comparison
-        // against the fully sequential engine (1 shard, sequential
-        // placement ranking), not against whichever cell happened to run
-        // first.
-        let mut baseline_digest = if shard_counts.first() == Some(&1) && !engine.is_parallel() {
-            None
-        } else {
-            let (baseline, _) = run_scale_cell(&workload, scale, ShardConfig::sequential());
-            Some(digest(&baseline))
-        };
+        // `DEFLATE_SHARDS` override without a 1, a parallel
+        // `DEFLATE_PLACEMENT_WORKERS` override, or a resume into a
+        // partially measured size pays one extra unreported sequential
+        // run. The column promises a comparison against the fully
+        // sequential engine (1 shard, sequential placement ranking), not
+        // against whichever cell happened to run first.
+        let all_fresh = shard_counts.iter().all(|&s| !have(&rows, s));
+        let mut baseline_digest =
+            if all_fresh && shard_counts.first() == Some(&1) && !engine.is_parallel() {
+                None
+            } else {
+                let (baseline, _) = run_scale_cell(&workload, scale, ShardConfig::sequential());
+                Some(digest(&baseline))
+            };
         for &shards in &shard_counts {
+            if have(&rows, shards) {
+                continue;
+            }
             let (result, servers) = run_scale_cell_placed(
                 &workload,
                 scale,
@@ -259,10 +293,91 @@ pub fn scale_sweep(scale: Scale) -> Vec<ScaleRow> {
                 peak_rss_mib: peak_rss_mib(),
                 parity,
             });
+            flush(&rows);
         }
     }
+    rows.sort_by_key(|r| (r.vms, r.shards));
     rows
 }
+
+/// Run the sweep resumably against an on-disk state file: rows measured
+/// by a previous (possibly interrupted or killed) invocation are loaded
+/// from `state_path` and skipped, and every newly measured cell is
+/// flushed back atomically (write-to-temp + rename). A re-run over a
+/// complete state file measures nothing and just reprints the table. An
+/// unreadable or stale-format state file is discarded and the sweep
+/// starts over — the file is a cache, never a source of truth.
+pub fn scale_sweep_resumable(scale: Scale, state_path: &Path) -> Vec<ScaleRow> {
+    let done = match fs::read(state_path) {
+        Ok(bytes) => rows_from_bytes(&bytes).unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    scale_sweep_with_resume(scale, done, |rows| {
+        let tmp = state_path.with_extension("tmp");
+        if fs::write(&tmp, rows_to_bytes(rows)).is_ok() {
+            let _ = fs::rename(&tmp, state_path);
+        }
+    })
+}
+
+/// Serialize measured sweep rows for the resumable state file, using the
+/// engine checkpoint's versioned little-endian byte conventions (shared
+/// magic + format version, so a format change requires the same version
+/// bump the snapshot golden test enforces). A tag string distinguishes
+/// the row file from an engine snapshot.
+pub fn rows_to_bytes(rows: &[ScaleRow]) -> Vec<u8> {
+    let mut w = ByteWriter::with_header();
+    w.put_str(SCALE_ROWS_TAG);
+    w.put_usize(rows.len());
+    for row in rows {
+        w.put_usize(row.vms);
+        w.put_usize(row.servers);
+        w.put_usize(row.shards);
+        w.put_u64(row.events);
+        w.put_f64(row.wall_clock_secs);
+        w.put_f64(row.events_per_sec);
+        w.put_bool(row.peak_rss_mib.is_some());
+        if let Some(mib) = row.peak_rss_mib {
+            w.put_f64(mib);
+        }
+        w.put_bool(row.parity);
+    }
+    w.into_bytes()
+}
+
+/// Rebuild sweep rows from [`rows_to_bytes`] bytes.
+pub fn rows_from_bytes(bytes: &[u8]) -> CheckpointResult<Vec<ScaleRow>> {
+    let mut r = ByteReader::with_header(bytes)?;
+    let tag = r.get_str()?;
+    if tag != SCALE_ROWS_TAG {
+        return Err(CheckpointError::Corrupt(format!(
+            "not a fig_scale row file (tag `{tag}`)"
+        )));
+    }
+    let len = r.get_usize()?;
+    let mut rows = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        rows.push(ScaleRow {
+            vms: r.get_usize()?,
+            servers: r.get_usize()?,
+            shards: r.get_usize()?,
+            events: r.get_u64()?,
+            wall_clock_secs: r.get_f64()?,
+            events_per_sec: r.get_f64()?,
+            peak_rss_mib: if r.get_bool()? {
+                Some(r.get_f64()?)
+            } else {
+                None
+            },
+            parity: r.get_bool()?,
+        });
+    }
+    r.finish()?;
+    Ok(rows)
+}
+
+/// Discriminator string of the resumable-sweep state file.
+const SCALE_ROWS_TAG: &str = "fig-scale-rows";
 
 /// The sweep as a printable table.
 pub fn scale_sweep_table(scale: Scale) -> Table {
@@ -354,6 +469,80 @@ mod tests {
         assert_eq!(counts, &[1, 2]);
         assert_eq!(Scale::Full.scale_sweep_shards(), &[1, 2, 4, 8]);
         assert!(Scale::Quick.scale_sweep_vms().contains(&100_000));
+    }
+
+    #[test]
+    fn sweep_rows_round_trip_through_the_state_file_format() {
+        let rows = vec![
+            ScaleRow {
+                vms: 10_000,
+                servers: 321,
+                shards: 1,
+                events: 123_456,
+                wall_clock_secs: 1.5,
+                events_per_sec: 82_304.0,
+                peak_rss_mib: Some(512.25),
+                parity: true,
+            },
+            ScaleRow {
+                vms: 100_000,
+                servers: 3210,
+                shards: 2,
+                events: 1_234_567,
+                wall_clock_secs: 12.5,
+                events_per_sec: 98_765.36,
+                peak_rss_mib: None,
+                parity: false,
+            },
+        ];
+        let bytes = rows_to_bytes(&rows);
+        let restored = rows_from_bytes(&bytes).expect("own bytes must parse");
+        assert_eq!(restored.len(), rows.len());
+        for (a, b) in rows.iter().zip(&restored) {
+            assert_eq!(
+                (a.vms, a.servers, a.shards, a.events),
+                (b.vms, b.servers, b.shards, b.events)
+            );
+            assert_eq!(a.wall_clock_secs.to_bits(), b.wall_clock_secs.to_bits());
+            assert_eq!(a.events_per_sec.to_bits(), b.events_per_sec.to_bits());
+            assert_eq!(
+                a.peak_rss_mib.map(f64::to_bits),
+                b.peak_rss_mib.map(f64::to_bits)
+            );
+            assert_eq!(a.parity, b.parity);
+        }
+        // Garbage and truncation are rejected, not misread.
+        assert!(rows_from_bytes(b"not a state file").is_err());
+        assert!(rows_from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    /// A sweep resumed over a complete row set measures nothing: no cell
+    /// runs (the quick preset's smallest size is 10k VMs — a run here
+    /// would dominate the unit-test wall clock) and the flush callback
+    /// never fires.
+    #[test]
+    fn resume_over_complete_rows_skips_every_cell() {
+        let scale = Scale::Quick;
+        let mut done = Vec::new();
+        for &vms in scale.scale_sweep_vms() {
+            for &shards in scale.scale_sweep_shards() {
+                done.push(ScaleRow {
+                    vms,
+                    servers: 1,
+                    shards,
+                    events: 1,
+                    wall_clock_secs: 0.1,
+                    events_per_sec: 10.0,
+                    peak_rss_mib: None,
+                    parity: true,
+                });
+            }
+        }
+        let expected = done.len();
+        let mut flushes = 0;
+        let rows = scale_sweep_with_resume(scale, done, |_| flushes += 1);
+        assert_eq!(rows.len(), expected);
+        assert_eq!(flushes, 0, "complete state must skip all measurement");
     }
 
     #[test]

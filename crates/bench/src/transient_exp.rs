@@ -69,7 +69,8 @@ impl TransientMode {
         }
     }
 
-    fn mode(&self) -> ReclamationMode {
+    /// The engine-level reclamation mode this strategy configures.
+    pub fn mode(&self) -> ReclamationMode {
         match self {
             TransientMode::Deflation => {
                 ReclamationMode::Deflation(Arc::new(ProportionalDeflation::default()))
@@ -213,6 +214,23 @@ pub fn run_transient_placed(
     shards: ShardConfig,
     engine: PlacementEngine,
 ) -> SimResult {
+    transient_simulation(workload, scale, mode, profile, cost, policy)
+        .with_shards(shards)
+        .with_placement_engine(engine)
+        .run(workload)
+}
+
+/// The capacity schedule and server count every transient experiment runs
+/// under: the cluster is sized for the profile's mean availability, all
+/// servers are transient, and the change-points are seeded from the scale
+/// preset — so two calls with the same inputs produce the identical
+/// schedule. `fig_whatif` regenerates the schedule through this function
+/// to learn the reclamation times its meta-scheduler decides at.
+pub fn transient_capacity(
+    workload: &[deflate_cluster::spec::WorkloadVm],
+    scale: Scale,
+    profile: CapacityProfile,
+) -> (CapacitySchedule, usize) {
     let capacity = paper_server_capacity();
     let servers =
         servers_for_transient_overcommitment(workload, capacity, 0.0, profile.mean_availability());
@@ -223,9 +241,26 @@ pub fn run_transient_placed(
         profile,
         seed: scale.seed(),
     });
+    (schedule, servers)
+}
+
+/// Build — without running — the fully configured [`ClusterSimulation`]
+/// behind [`run_transient_placed`]. `fig_whatif` needs the simulation
+/// itself rather than its result: the meta-scheduler checkpoints it,
+/// forks the snapshot under sibling simulations that differ only in
+/// [`TransferPolicy`], and resumes the winner.
+pub fn transient_simulation(
+    workload: &[deflate_cluster::spec::WorkloadVm],
+    scale: Scale,
+    mode: TransientMode,
+    profile: CapacityProfile,
+    cost: MigrationCostModel,
+    policy: TransferPolicy,
+) -> ClusterSimulation {
+    let (schedule, servers) = transient_capacity(workload, scale, profile);
     let config = ClusterConfig {
         num_servers: servers,
-        server_capacity: capacity,
+        server_capacity: paper_server_capacity(),
         placement: PlacementKind::CosineFitness,
         partitions: PartitionScheme::None,
         mechanism: DeflationMechanism::Transparent,
@@ -235,9 +270,6 @@ pub fn run_transient_placed(
         .with_migrate_back(true)
         .with_migration_cost(cost)
         .with_transfer_policy(policy)
-        .with_shards(shards)
-        .with_placement_engine(engine)
-        .run(workload)
 }
 
 /// The transient-capacity comparison as a printable table: one row per

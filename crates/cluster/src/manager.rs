@@ -52,6 +52,7 @@
 use crate::placement::PlacementIndex;
 use crate::scheduler::{SchedulerStats, TransferDecision, TransferRequest, TransferScheduler};
 use deflate_autoscale::ElasticCluster;
+use deflate_core::checkpoint::{ByteReader, ByteWriter, CheckpointError, CheckpointResult};
 use deflate_core::error::{DeflateError, Result};
 use deflate_core::placement::{
     BestFit, CosineFitness, FirstFit, PartitionScheme, PartitionedPlacement, PlacementDecision,
@@ -62,7 +63,7 @@ use deflate_core::resources::{ResourceKind, ResourceVector};
 use deflate_core::shard::ShardConfig;
 use deflate_core::vm::{ServerId, VmId, VmSpec};
 use deflate_hypervisor::controller::{AdmissionOutcome, LocalController};
-use deflate_hypervisor::domain::{CacheRegrowthModel, DeflationMechanism};
+use deflate_hypervisor::domain::{CacheRegrowthModel, DeflationMechanism, Domain};
 use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_hypervisor::server::SimServer;
 use deflate_telemetry::{Phase, TelemetrySink};
@@ -1835,6 +1836,190 @@ impl ClusterManager {
     /// With no transfer in flight this is the strict physical invariant.
     pub fn check_invariants(&self) -> bool {
         (0..self.controllers.len()).all(|idx| self.fits_with_pending(idx))
+    }
+
+    /// Serialize the manager's **dynamic** state for an engine checkpoint:
+    /// per-server capacities and resident domains (in `VmId` order — the
+    /// `BTreeMap` iteration order), the reclaim-hysteresis clocks, the VM
+    /// location and migration-origin maps (sorted by VM id), the in-flight
+    /// transfers (sorted by migration id), the transfer scheduler's
+    /// ledgers, the admission/transient counters and the placement index's
+    /// queued dirty marks. Static configuration (placement policy,
+    /// partitions, mechanism, cost model, restore policy, cache regrowth,
+    /// telemetry, engine, pool) is **not** written — the restoring side
+    /// rebuilds it from the same [`ClusterConfig`] and builder calls,
+    /// which is also what lets a fork restore under a *different*
+    /// [`TransferPolicy`]. Every map is emitted in sorted order, so the
+    /// bytes are independent of `HashMap` layout, shard count and host.
+    ///
+    /// Must be called at an event boundary: `staged` transfers only exist
+    /// within one capacity event and are never snapshotted.
+    pub fn write_snapshot(&self, w: &mut ByteWriter) {
+        debug_assert!(
+            self.staged.is_empty(),
+            "checkpoints are taken between manager calls only"
+        );
+        w.put_usize(self.controllers.len());
+        for controller in &self.controllers {
+            let server = controller.server();
+            w.put_resources(&server.capacity);
+            w.put_usize(server.domains().count());
+            for domain in server.domains() {
+                domain.write_snapshot(w);
+            }
+        }
+        w.put_f64_slice(&self.last_reclaim_secs);
+        let mut locations: Vec<(u64, u64)> = self
+            .vm_location
+            .iter()
+            .map(|(vm, &idx)| (vm.0, idx as u64))
+            .collect();
+        locations.sort_unstable();
+        w.put_usize(locations.len());
+        for (vm, idx) in locations {
+            w.put_u64(vm);
+            w.put_u64(idx);
+        }
+        let mut origins: Vec<(u64, u64)> = self
+            .migration_origin
+            .iter()
+            .map(|(vm, &idx)| (vm.0, idx as u64))
+            .collect();
+        origins.sort_unstable();
+        w.put_usize(origins.len());
+        for (vm, idx) in origins {
+            w.put_u64(vm);
+            w.put_u64(idx);
+        }
+        let mut flights: Vec<(u64, InFlight)> =
+            self.in_flight.iter().map(|(&id, &f)| (id, f)).collect();
+        flights.sort_unstable_by_key(|&(id, _)| id);
+        w.put_usize(flights.len());
+        for (id, f) in flights {
+            w.put_u64(id);
+            w.put_u64(f.vm.0);
+            w.put_usize(f.source);
+            w.put_usize(f.dest);
+            w.put_f64(f.start_secs);
+            w.put_f64(f.finish_secs);
+            w.put_f64(f.deadline_secs);
+            w.put_f64(f.volume_mb);
+            w.put_bool(f.back);
+        }
+        w.put_u64(self.next_migration_id);
+        self.scheduler.write_snapshot(w);
+        w.put_usize(self.counters.admitted_free);
+        w.put_usize(self.counters.admitted_with_deflation);
+        w.put_usize(self.counters.admitted_with_preemption);
+        w.put_usize(self.counters.rejected);
+        w.put_usize(self.counters.preempted_vms);
+        w.put_usize(self.transient.reclaim_events);
+        w.put_usize(self.transient.restore_events);
+        w.put_usize(self.transient.absorbed_by_deflation);
+        w.put_usize(self.transient.migrations);
+        w.put_usize(self.transient.migrations_back);
+        w.put_usize(self.transient.migration_aborts);
+        w.put_usize(self.transient.migration_rejections);
+        w.put_usize(self.transient.reclamation_victims);
+        let dirty = self.index.dirty_indices();
+        w.put_usize(dirty.len());
+        for idx in dirty {
+            w.put_usize(idx);
+        }
+    }
+
+    /// Restore [`write_snapshot`](Self::write_snapshot) state onto a
+    /// **freshly constructed** manager (same [`ClusterConfig`], mode and
+    /// builder overrides — the transfer policy in effect is kept, so a
+    /// fork may have swapped it before restoring). The placement index is
+    /// rebuilt from the restored servers and the snapshot's dirty marks
+    /// are replayed onto it.
+    pub fn read_snapshot(&mut self, r: &mut ByteReader<'_>) -> CheckpointResult<()> {
+        let num_servers = r.get_usize()?;
+        if num_servers != self.controllers.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot has {} servers, cluster has {}",
+                num_servers,
+                self.controllers.len()
+            )));
+        }
+        for controller in &mut self.controllers {
+            let server = controller.server_mut();
+            server.capacity = r.get_resources()?;
+            let count = r.get_usize()?;
+            for _ in 0..count {
+                server.restore_domain(Domain::read_snapshot(r)?);
+            }
+        }
+        let last_reclaim = r.get_f64_vec()?;
+        if last_reclaim.len() != num_servers {
+            return Err(CheckpointError::Corrupt(format!(
+                "reclaim clocks for {} servers, expected {}",
+                last_reclaim.len(),
+                num_servers
+            )));
+        }
+        self.last_reclaim_secs = last_reclaim;
+        let n = r.get_usize()?;
+        self.vm_location = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let vm = VmId(r.get_u64()?);
+            let idx = r.get_u64()? as usize;
+            self.vm_location.insert(vm, idx);
+        }
+        let n = r.get_usize()?;
+        self.migration_origin = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let vm = VmId(r.get_u64()?);
+            let idx = r.get_u64()? as usize;
+            self.migration_origin.insert(vm, idx);
+        }
+        let n = r.get_usize()?;
+        self.in_flight = HashMap::with_capacity(n);
+        self.in_flight_by_vm = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = r.get_u64()?;
+            let flight = InFlight {
+                vm: VmId(r.get_u64()?),
+                source: r.get_usize()?,
+                dest: r.get_usize()?,
+                start_secs: r.get_f64()?,
+                finish_secs: r.get_f64()?,
+                deadline_secs: r.get_f64()?,
+                volume_mb: r.get_f64()?,
+                back: r.get_bool()?,
+            };
+            self.in_flight_by_vm.insert(flight.vm, id);
+            self.in_flight.insert(id, flight);
+        }
+        self.next_migration_id = r.get_u64()?;
+        self.scheduler = TransferScheduler::read_snapshot(r, self.scheduler.policy())?;
+        self.counters = AdmissionCounters {
+            admitted_free: r.get_usize()?,
+            admitted_with_deflation: r.get_usize()?,
+            admitted_with_preemption: r.get_usize()?,
+            rejected: r.get_usize()?,
+            preempted_vms: r.get_usize()?,
+        };
+        self.transient = TransientCounters {
+            reclaim_events: r.get_usize()?,
+            restore_events: r.get_usize()?,
+            absorbed_by_deflation: r.get_usize()?,
+            migrations: r.get_usize()?,
+            migrations_back: r.get_usize()?,
+            migration_aborts: r.get_usize()?,
+            migration_rejections: r.get_usize()?,
+            reclamation_victims: r.get_usize()?,
+        };
+        self.staged.clear();
+        self.index =
+            PlacementIndex::new(self.controllers.iter().map(|c| c.server().view()).collect());
+        let dirty = r.get_usize()?;
+        for _ in 0..dirty {
+            let idx = r.get_usize()?;
+            self.index.mark_dirty(idx);
+        }
+        Ok(())
     }
 
     /// Publish the manager's admission, transient and transfer-scheduler

@@ -109,6 +109,17 @@ impl PlacementIndex {
         }
     }
 
+    /// The queued dirty server indices, sorted ascending — the canonical
+    /// form written into an engine checkpoint. (The live queue keeps
+    /// insertion order, which is deterministic but irrelevant: refresh
+    /// rewrites whole entries, so a restored index may replay the marks
+    /// in any fixed order.)
+    pub fn dirty_indices(&self) -> Vec<usize> {
+        let mut indices = self.dirty_queue.clone();
+        indices.sort_unstable();
+        indices
+    }
+
     /// The cached views, in server order. Exact only after [`refresh`]
     /// drained the dirty queue.
     ///

@@ -56,11 +56,12 @@ use crate::manager::{ClusterConfig, ClusterManager, PlacementResult, Reclamation
 use crate::metrics::{MigrationEvent, RunStats, SimResult, VmOutcome, VmRecord};
 use crate::spec::WorkloadVm;
 use deflate_autoscale::{Autoscaler, ElasticApp};
+use deflate_core::checkpoint::{ByteReader, ByteWriter, CheckpointError, CheckpointResult};
 use deflate_core::placement::PlacementEngine;
 use deflate_core::policy::{AutoscalePolicy, RestorePolicy, TransferPolicy};
 use deflate_core::shard::ShardConfig;
 use deflate_core::telemetry::TelemetrySpec;
-use deflate_core::vm::VmId;
+use deflate_core::vm::{ServerId, VmId};
 use deflate_hypervisor::domain::CacheRegrowthModel;
 use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_telemetry::{EventField, Phase, TelemetryEventKind, TelemetrySink};
@@ -87,6 +88,25 @@ pub struct ClusterSimulation {
     shards: ShardConfig,
     placement_engine: PlacementEngine,
     telemetry: TelemetrySink,
+}
+
+/// The engine's complete working state between event boundaries: the
+/// cluster manager, the optional autoscaler, the pending event queue and
+/// the per-VM bookkeeping. Built by `boot`, advanced by `drive`, folded
+/// into a [`SimResult`] by `finish` — and, between `drive` calls,
+/// serializable as a versioned snapshot
+/// ([`ClusterSimulation::checkpoint`]).
+struct EngineState {
+    pool: Option<Arc<WorkerPool>>,
+    manager: ClusterManager,
+    autoscaler: Option<Autoscaler>,
+    queue: ShardedEventQueue,
+    index_of: HashMap<VmId, usize>,
+    records: Vec<VmRecord>,
+    running: Vec<bool>,
+    migrations: Vec<MigrationEvent>,
+    utilization: Vec<(f64, f64)>,
+    events_processed: u64,
 }
 
 impl ClusterSimulation {
@@ -235,6 +255,81 @@ impl ClusterSimulation {
         // phases below) is `fig_profile`'s "other" row, so the phase
         // table always sums to the engine total.
         let _engine_total = self.telemetry.span(Phase::EngineTotal);
+        let mut state = self.boot(workload);
+        self.drive(workload, &mut state, None);
+        self.finish(workload, state, started_at)
+    }
+
+    /// Run the engine up to simulated time `at_secs` — processing every
+    /// event with `time <= at_secs`, including events their handlers
+    /// schedule back inside the horizon — and serialize the complete
+    /// dynamic state as a versioned snapshot.
+    ///
+    /// The contract, pinned by `tests/checkpoint_restore.rs`: for any
+    /// event-boundary `T`, `resume(checkpoint(T))` yields a `SimResult`
+    /// equal to the uninterrupted `run` in **every** field (wall-clock
+    /// time excepted — it is re-measured, never serialized, so snapshot
+    /// bytes are machine-independent). The bytes are also independent of
+    /// the shard count and of telemetry: queue contents are written in
+    /// the queue's deterministic pop order and every map in sorted order.
+    ///
+    /// A snapshot holds only *dynamic* state. Configuration — the cluster
+    /// layout, policies, cost models, telemetry sinks, shard count — is
+    /// re-supplied by the [`ClusterSimulation`] that restores it, which is
+    /// what lets a **fork** replay the same snapshot under a different
+    /// [`TransferPolicy`] (the scheduler's ledgers persist; its policy is
+    /// the restoring simulation's).
+    pub fn checkpoint(&self, workload: &[WorkloadVm], at_secs: f64) -> Vec<u8> {
+        let _engine_total = self.telemetry.span(Phase::EngineTotal);
+        let mut state = self.boot(workload);
+        self.drive(workload, &mut state, Some(at_secs));
+        self.serialize_state(workload, &state, at_secs)
+    }
+
+    /// Restore a [`checkpoint`](Self::checkpoint) snapshot and run the
+    /// remaining events to completion. The receiver must be configured
+    /// identically to the checkpointing simulation — except for knobs
+    /// that are *deliberately* part of a fork (the transfer policy) and
+    /// knobs that never affect results (shards, placement engine,
+    /// telemetry — sinks are re-attached here, never serialized).
+    pub fn resume(&self, workload: &[WorkloadVm], snapshot: &[u8]) -> CheckpointResult<SimResult> {
+        let started_at = std::time::Instant::now();
+        let _engine_total = self.telemetry.span(Phase::EngineTotal);
+        let mut state = self.boot(workload);
+        self.restore_state(workload, &mut state, snapshot)?;
+        self.drive(workload, &mut state, None);
+        Ok(self.finish(workload, state, started_at))
+    }
+
+    /// Restore a snapshot, drive the engine further to `at_secs`, and
+    /// re-serialize — advancing a checkpointed run to a later boundary
+    /// without replaying its prefix. The meta-scheduling loop in
+    /// `fig_whatif` leapfrogs snapshots this way from one capacity event
+    /// to the next.
+    pub fn resume_until(
+        &self,
+        workload: &[WorkloadVm],
+        snapshot: &[u8],
+        at_secs: f64,
+    ) -> CheckpointResult<Vec<u8>> {
+        let _engine_total = self.telemetry.span(Phase::EngineTotal);
+        let mut state = self.boot(workload);
+        self.restore_state(workload, &mut state, snapshot)?;
+        self.drive(workload, &mut state, Some(at_secs));
+        Ok(self.serialize_state(workload, &state, at_secs))
+    }
+
+    /// The simulated time a snapshot was taken at, without restoring it.
+    pub fn snapshot_time(snapshot: &[u8]) -> CheckpointResult<f64> {
+        let mut r = ByteReader::with_header(snapshot)?;
+        r.get_f64()
+    }
+
+    /// Build the engine's working state: the cluster manager, the optional
+    /// autoscaler, the fully scheduled event queue and the per-VM
+    /// bookkeeping — everything `drive` advances, and everything a
+    /// snapshot restores over.
+    fn boot(&self, workload: &[WorkloadVm]) -> EngineState {
         // One persistent worker pool is shared by every parallel section of
         // the run — shard heapify, record init, utilisation sampling,
         // snapshotting and the placement ranking fan-out — instead of each
@@ -242,7 +337,7 @@ impl ClusterSimulation {
         // parallelism knobs; absent entirely for fully sequential runs.
         let pool_threads = self.shards.count().max(self.placement_engine.workers());
         let pool = (pool_threads > 1).then(|| Arc::new(WorkerPool::new(pool_threads)));
-        let mut manager = ClusterManager::new(&self.config, self.mode.clone())
+        let manager = ClusterManager::new(&self.config, self.mode.clone())
             .with_migration_cost(self.migration_cost)
             .with_transfer_policy(self.transfer_policy)
             .with_restore_policy(self.restore_policy)
@@ -254,7 +349,7 @@ impl ClusterSimulation {
         // schedules no scale events and touches no autoscaler state, so it
         // is bit-identical to a run of the engine before autoscaling
         // existed (pinned by the golden regression tests).
-        let mut autoscaler = (self.autoscale_policy.is_enabled() && !self.elastic_apps.is_empty())
+        let autoscaler = (self.autoscale_policy.is_enabled() && !self.elastic_apps.is_empty())
             .then(|| Autoscaler::new(self.autoscale_policy, self.elastic_apps.clone()));
 
         // Schedule every event up front. The queue's deterministic total
@@ -302,7 +397,7 @@ impl ClusterSimulation {
             }
             events
         };
-        let mut queue = ShardedEventQueue::build_with_workers(
+        let queue = ShardedEventQueue::build_with_workers(
             self.shards,
             self.config.num_servers,
             workload.len(),
@@ -312,7 +407,7 @@ impl ClusterSimulation {
         );
 
         // Working state.
-        let (index_of, mut records) = {
+        let (index_of, records) = {
             let _init = self.telemetry.span(Phase::RecordInit);
             let index_of: HashMap<VmId, usize> = workload
                 .iter()
@@ -321,12 +416,44 @@ impl ClusterSimulation {
                 .collect();
             (index_of, self.initial_records(workload, pool.as_deref()))
         };
-        let mut running: Vec<bool> = vec![false; workload.len()];
-        let mut migrations: Vec<MigrationEvent> = Vec::new();
-        let mut utilization: Vec<(f64, f64)> = Vec::new();
-        let mut events_processed: u64 = 0;
+        EngineState {
+            pool,
+            manager,
+            autoscaler,
+            queue,
+            index_of,
+            records,
+            running: vec![false; workload.len()],
+            migrations: Vec::new(),
+            utilization: Vec::new(),
+            events_processed: 0,
+        }
+    }
 
+    /// The main event loop: pop events in the queue's global total order
+    /// and dispatch them. With `stop_secs` set the loop stops at the first
+    /// event **after** that time, leaving it queued — an event boundary a
+    /// checkpoint can serialize; `None` drains the queue.
+    fn drive(&self, workload: &[WorkloadVm], state: &mut EngineState, stop_secs: Option<f64>) {
+        let EngineState {
+            pool,
+            manager,
+            autoscaler,
+            queue,
+            index_of,
+            records,
+            running,
+            migrations,
+            utilization,
+            events_processed,
+        } = state;
         loop {
+            if let Some(stop) = stop_secs {
+                match queue.peek_time() {
+                    Some(time) if time <= stop => {}
+                    _ => break,
+                }
+            }
             // Time the k-way shard-head merge separately from the event
             // handlers it feeds.
             let popped = {
@@ -334,7 +461,7 @@ impl ClusterSimulation {
                 queue.pop()
             };
             let Some((time, event)) = popped else { break };
-            events_processed += 1;
+            *events_processed += 1;
             match event {
                 SimEvent::Arrival(i) => {
                     let _span = self.telemetry.span(Phase::Arrival);
@@ -392,14 +519,7 @@ impl ClusterSimulation {
                         }
                     };
                     if let Some(server) = touched_server {
-                        Self::record_allocations(
-                            &manager,
-                            server,
-                            &index_of,
-                            &mut records,
-                            &running,
-                            time,
-                        );
+                        Self::record_allocations(manager, server, index_of, records, running, time);
                     }
                 }
                 SimEvent::Departure(i) => {
@@ -427,12 +547,7 @@ impl ClusterSimulation {
                         running[i] = false;
                         for server in [server, dest].into_iter().flatten() {
                             Self::record_allocations(
-                                &manager,
-                                server,
-                                &index_of,
-                                &mut records,
-                                &running,
-                                time,
+                                manager, server, index_of, records, running, time,
                             );
                         }
                     }
@@ -445,9 +560,9 @@ impl ClusterSimulation {
                     {
                         let _sampling = self.telemetry.span(Phase::UtilizationSampling);
                         self.observe_utilizations(
-                            &mut manager,
+                            manager,
                             workload,
-                            &running,
+                            running,
                             time,
                             pool.as_deref(),
                         );
@@ -469,15 +584,8 @@ impl ClusterSimulation {
                         );
                     }
                     Self::apply_capacity_outcome(
-                        &manager,
-                        &outcome,
-                        time,
-                        &index_of,
-                        &mut records,
-                        &mut running,
-                        &mut migrations,
-                        &mut queue,
-                        &mut autoscaler,
+                        manager, &outcome, time, index_of, records, running, migrations, queue,
+                        autoscaler,
                     );
                 }
                 SimEvent::CapacityRestore {
@@ -488,9 +596,9 @@ impl ClusterSimulation {
                     {
                         let _sampling = self.telemetry.span(Phase::UtilizationSampling);
                         self.observe_utilizations(
-                            &mut manager,
+                            manager,
                             workload,
-                            &running,
+                            running,
                             time,
                             pool.as_deref(),
                         );
@@ -516,15 +624,8 @@ impl ClusterSimulation {
                         );
                     }
                     Self::apply_capacity_outcome(
-                        &manager,
-                        &outcome,
-                        time,
-                        &index_of,
-                        &mut records,
-                        &mut running,
-                        &mut migrations,
-                        &mut queue,
-                        &mut autoscaler,
+                        manager, &outcome, time, index_of, records, running, migrations, queue,
+                        autoscaler,
                     );
                 }
                 SimEvent::MigrationComplete { migration } => {
@@ -541,15 +642,8 @@ impl ClusterSimulation {
                         );
                     }
                     Self::apply_capacity_outcome(
-                        &manager,
-                        &outcome,
-                        time,
-                        &index_of,
-                        &mut records,
-                        &mut running,
-                        &mut migrations,
-                        &mut queue,
-                        &mut autoscaler,
+                        manager, &outcome, time, index_of, records, running, migrations, queue,
+                        autoscaler,
                     );
                 }
                 SimEvent::UtilizationTick => {
@@ -578,7 +672,7 @@ impl ClusterSimulation {
                     // shard count.
                     if let Some(autoscaler) = autoscaler.as_mut() {
                         let _decide = self.telemetry.span(Phase::Autoscale);
-                        for (t, event) in autoscaler.on_tick(time, &manager) {
+                        for (t, event) in autoscaler.on_tick(time, &*manager) {
                             queue.push(t, event);
                         }
                     }
@@ -595,7 +689,7 @@ impl ClusterSimulation {
                     let Some(scaler) = autoscaler.as_mut() else {
                         continue;
                     };
-                    let touched = scaler.on_scale_out(app, time, &mut manager);
+                    let touched = scaler.on_scale_out(app, time, manager);
                     // Under the preemption baseline a replica launch can
                     // kill resident workload VMs — and other replicas;
                     // reconcile both (deflation and migration-only
@@ -607,17 +701,10 @@ impl ClusterSimulation {
                                 running[i] = false;
                             }
                         }
-                        scaler.reconcile_lost(&manager);
+                        scaler.reconcile_lost(&*manager);
                     }
                     for server in touched {
-                        Self::record_allocations(
-                            &manager,
-                            server,
-                            &index_of,
-                            &mut records,
-                            &running,
-                            time,
-                        );
+                        Self::record_allocations(manager, server, index_of, records, running, time);
                     }
                 }
                 SimEvent::ScaleIn { app } => {
@@ -632,20 +719,34 @@ impl ClusterSimulation {
                     let Some(autoscaler) = autoscaler.as_mut() else {
                         continue;
                     };
-                    for server in autoscaler.on_scale_in(app, time, &mut manager) {
-                        Self::record_allocations(
-                            &manager,
-                            server,
-                            &index_of,
-                            &mut records,
-                            &running,
-                            time,
-                        );
+                    for server in autoscaler.on_scale_in(app, time, manager) {
+                        Self::record_allocations(manager, server, index_of, records, running, time);
                     }
                 }
             }
         }
+    }
 
+    /// Assemble the [`SimResult`] from a drained engine state. Wall-clock
+    /// time is measured from `started_at` — the current portion of the
+    /// run only, so a resumed run reports its own wall time while every
+    /// *simulation* field (including the cumulative `events_processed`)
+    /// matches the uninterrupted run.
+    fn finish(
+        &self,
+        workload: &[WorkloadVm],
+        state: EngineState,
+        started_at: std::time::Instant,
+    ) -> SimResult {
+        let EngineState {
+            manager,
+            autoscaler,
+            records,
+            migrations,
+            utilization,
+            events_processed,
+            ..
+        } = state;
         debug_assert!(manager.check_invariants());
         let _assembly = self.telemetry.span(Phase::ResultAssembly);
         let overcommitment = crate::spec::overcommitment_of(
@@ -679,6 +780,168 @@ impl ClusterSimulation {
                 shards: self.shards.count(),
             },
         }
+    }
+
+    /// Serialize a paused engine state as versioned snapshot bytes. The
+    /// layout (all little-endian, maps sorted, queue in pop order) is
+    /// golden-pinned by `tests/checkpoint_restore.rs`; changing it
+    /// requires bumping [`deflate_core::checkpoint::SNAPSHOT_VERSION`].
+    /// No wall-clock or otherwise host-dependent value is ever written,
+    /// so two snapshots of the same run at the same boundary are
+    /// byte-identical across machines, shard counts and telemetry modes.
+    fn serialize_state(
+        &self,
+        workload: &[WorkloadVm],
+        state: &EngineState,
+        at_secs: f64,
+    ) -> Vec<u8> {
+        let mut w = ByteWriter::with_header();
+        w.put_f64(at_secs);
+        w.put_usize(workload.len());
+        w.put_u64(state.events_processed);
+        let queued = state.queue.contents();
+        w.put_usize(queued.len());
+        for (time, event) in queued {
+            w.put_f64(time);
+            event.write_snapshot(&mut w);
+        }
+        state.manager.write_snapshot(&mut w);
+        w.put_bool(state.autoscaler.is_some());
+        if let Some(autoscaler) = &state.autoscaler {
+            autoscaler.write_snapshot(&mut w);
+        }
+        for (record, &running) in state.records.iter().zip(&state.running) {
+            w.put_bool(running);
+            match record.outcome {
+                VmOutcome::Completed => w.put_u8(0),
+                VmOutcome::Rejected => w.put_u8(1),
+                VmOutcome::Preempted { at_secs } => {
+                    w.put_u8(2);
+                    w.put_f64(at_secs);
+                }
+                VmOutcome::Evicted { at_secs } => {
+                    w.put_u8(3);
+                    w.put_f64(at_secs);
+                }
+            }
+            w.put_usize(record.allocation_history.len());
+            for &(t, f) in &record.allocation_history {
+                w.put_f64(t);
+                w.put_f64(f);
+            }
+        }
+        w.put_usize(state.migrations.len());
+        for m in &state.migrations {
+            w.put_f64(m.time_secs);
+            w.put_u64(m.vm.0);
+            w.put_u32(m.from.0);
+            w.put_u32(m.to.0);
+            w.put_f64(m.duration_secs);
+            w.put_f64(m.volume_mb);
+            w.put_bool(m.back);
+        }
+        w.put_usize(state.utilization.len());
+        for &(t, u) in &state.utilization {
+            w.put_f64(t);
+            w.put_f64(u);
+        }
+        w.into_bytes()
+    }
+
+    /// Overwrite a freshly booted engine state with a snapshot's contents.
+    /// The queue is rebuilt through the ordinary sharded construction —
+    /// snapshot bytes store events in the canonical pop order, and routing
+    /// is content-addressed, so restoring under any shard count reproduces
+    /// the same pops.
+    fn restore_state(
+        &self,
+        workload: &[WorkloadVm],
+        state: &mut EngineState,
+        snapshot: &[u8],
+    ) -> CheckpointResult<()> {
+        let mut r = ByteReader::with_header(snapshot)?;
+        let _at_secs = r.get_f64()?;
+        let num_vms = r.get_usize()?;
+        if num_vms != workload.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot taken over {} workload VMs, restoring with {}",
+                num_vms,
+                workload.len()
+            )));
+        }
+        state.events_processed = r.get_u64()?;
+        let queued = r.get_usize()?;
+        let mut events = Vec::with_capacity(queued);
+        for _ in 0..queued {
+            let time = r.get_f64()?;
+            let event = SimEvent::read_snapshot(&mut r)?;
+            events.push((time, event));
+        }
+        state.queue = ShardedEventQueue::build_with_workers(
+            self.shards,
+            self.config.num_servers,
+            workload.len(),
+            events,
+            &self.telemetry,
+            state.pool.as_deref(),
+        );
+        state.manager.read_snapshot(&mut r)?;
+        let has_autoscaler = r.get_bool()?;
+        if has_autoscaler != state.autoscaler.is_some() {
+            return Err(CheckpointError::Corrupt(
+                "snapshot and simulation disagree on autoscaling".to_string(),
+            ));
+        }
+        if let Some(autoscaler) = state.autoscaler.as_mut() {
+            autoscaler.read_snapshot(&mut r)?;
+        }
+        for i in 0..workload.len() {
+            state.running[i] = r.get_bool()?;
+            state.records[i].outcome = match r.get_u8()? {
+                0 => VmOutcome::Completed,
+                1 => VmOutcome::Rejected,
+                2 => VmOutcome::Preempted {
+                    at_secs: r.get_f64()?,
+                },
+                3 => VmOutcome::Evicted {
+                    at_secs: r.get_f64()?,
+                },
+                other => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "unknown VmOutcome discriminant {other}"
+                    )))
+                }
+            };
+            let points = r.get_usize()?;
+            let mut history = Vec::with_capacity(points);
+            for _ in 0..points {
+                let t = r.get_f64()?;
+                let f = r.get_f64()?;
+                history.push((t, f));
+            }
+            state.records[i].allocation_history = history;
+        }
+        let migrations = r.get_usize()?;
+        state.migrations = Vec::with_capacity(migrations);
+        for _ in 0..migrations {
+            state.migrations.push(MigrationEvent {
+                time_secs: r.get_f64()?,
+                vm: VmId(r.get_u64()?),
+                from: ServerId(r.get_u32()?),
+                to: ServerId(r.get_u32()?),
+                duration_secs: r.get_f64()?,
+                volume_mb: r.get_f64()?,
+                back: r.get_bool()?,
+            });
+        }
+        let samples = r.get_usize()?;
+        state.utilization = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = r.get_f64()?;
+            let u = r.get_f64()?;
+            state.utilization.push((t, u));
+        }
+        r.finish()
     }
 
     /// Build the per-VM record skeletons, fanning the spec/trace clones out
@@ -1185,6 +1448,66 @@ mod tests {
             "the tight cluster should preempt replicas: {stats:?}"
         );
         assert!(stats.replicas_conserved(), "{stats:?}");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted_run() {
+        let workload = small_workload(140, 53);
+        let servers =
+            (crate::spec::min_cluster_size(&workload, ResourceVector::cpu_mem(48_000.0, 131_072.0))
+                as f64
+                / 1.3)
+                .floor()
+                .max(2.0) as usize;
+        let schedule = deflate_transient::signal::CapacitySchedule::generate(&TransientConfig {
+            num_servers: servers,
+            transient_fraction: 1.0,
+            duration_secs: 12.0 * 3600.0,
+            profile: CapacityProfile::SquareWave {
+                period_secs: 2.0 * 3600.0,
+                keep_fraction: 0.5,
+                duty: 0.4,
+            },
+            seed: 19,
+        });
+        let cost = deflate_hypervisor::migration::MigrationCostModel::lan_default()
+            .with_budget_mbps(1250.0)
+            .with_deadline_secs(30.0)
+            .with_dirty_rate(800.0, 2.0);
+        let sim = ClusterSimulation::new(config(servers), proportional())
+            .with_capacity_schedule(schedule)
+            .with_utilization_ticks(1800.0)
+            .with_migrate_back(true)
+            .with_migration_cost(cost);
+        let full = sim.run(&workload);
+        for at_secs in [0.0, 3.0 * 3600.0, 7.5 * 3600.0, 13.0 * 3600.0] {
+            let snapshot = sim.checkpoint(&workload, at_secs);
+            assert!(
+                ClusterSimulation::snapshot_time(&snapshot).unwrap() == at_secs,
+                "snapshot timestamp survives the round trip"
+            );
+            let resumed = sim.resume(&workload, &snapshot).unwrap();
+            assert_eq!(full, resumed, "restore diverged at T={at_secs}");
+            assert_eq!(
+                full.runtime.events_processed, resumed.runtime.events_processed,
+                "events_processed must be cumulative across the boundary"
+            );
+            // Snapshot bytes are a pure function of the simulated prefix:
+            // taking the same checkpoint again (different wall clock) must
+            // produce the identical bytes.
+            assert_eq!(
+                snapshot,
+                sim.checkpoint(&workload, at_secs),
+                "snapshot bytes must be wall-clock independent at T={at_secs}"
+            );
+        }
+        // Leapfrog: advance an early snapshot instead of re-running the
+        // prefix; the continuation must match a direct checkpoint.
+        let early = sim.checkpoint(&workload, 2.0 * 3600.0);
+        let advanced = sim.resume_until(&workload, &early, 9.0 * 3600.0).unwrap();
+        assert_eq!(advanced, sim.checkpoint(&workload, 9.0 * 3600.0));
+        let resumed = sim.resume(&workload, &advanced).unwrap();
+        assert_eq!(full, resumed);
     }
 
     #[test]

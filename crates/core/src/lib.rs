@@ -10,6 +10,9 @@
 //! of that idea that are independent of any particular hypervisor or
 //! simulator:
 //!
+//! * [`checkpoint`] — the versioned snapshot byte format
+//!   ([`ByteWriter`] / [`ByteReader`]) behind the engine's
+//!   checkpoint / restore / fork support.
 //! * [`resources`] — multi-dimensional [`ResourceVector`]s over CPU, memory,
 //!   disk bandwidth and network bandwidth.
 //! * [`vm`] — VM specifications, priorities `π ∈ (0, 1]`, workload classes
@@ -57,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod perfmodel;
 pub mod placement;
@@ -67,6 +71,7 @@ pub mod shard;
 pub mod telemetry;
 pub mod vm;
 
+pub use checkpoint::{ByteReader, ByteWriter, CheckpointError, SNAPSHOT_VERSION};
 pub use error::{DeflateError, Result};
 pub use perfmodel::PerfModel;
 pub use placement::PlacementEngine;

@@ -19,6 +19,7 @@
 //! fact that the guest drops caches gracefully when it *knows* about the
 //! deflation (Figure 14).
 
+use deflate_core::checkpoint::{ByteReader, ByteWriter, CheckpointResult};
 use deflate_core::resources::ResourceKind;
 use serde::{Deserialize, Serialize};
 
@@ -205,6 +206,35 @@ impl GuestOs {
     /// target).
     pub fn page_cache_target_mb(&self) -> f64 {
         self.page_cache_target_mb
+    }
+
+    /// Serialize the raw guest state for an engine checkpoint. Every
+    /// field is written verbatim: the public mutators all clamp, so a
+    /// faithful restore cannot go through them.
+    pub fn write_snapshot(&self, w: &mut ByteWriter) {
+        w.put_u32(self.boot_vcpus);
+        w.put_u32(self.online_vcpus);
+        w.put_f64(self.boot_memory_mb);
+        w.put_f64(self.plugged_memory_mb);
+        w.put_f64(self.rss_mb);
+        w.put_f64(self.page_cache_mb);
+        w.put_f64(self.page_cache_target_mb);
+        w.put_f64(self.cpu_busy_fraction);
+    }
+
+    /// Rebuild a guest from [`write_snapshot`](Self::write_snapshot)
+    /// bytes, bit-identically.
+    pub fn read_snapshot(r: &mut ByteReader<'_>) -> CheckpointResult<Self> {
+        Ok(GuestOs {
+            boot_vcpus: r.get_u32()?,
+            online_vcpus: r.get_u32()?,
+            boot_memory_mb: r.get_f64()?,
+            plugged_memory_mb: r.get_f64()?,
+            rss_mb: r.get_f64()?,
+            page_cache_mb: r.get_f64()?,
+            page_cache_target_mb: r.get_f64()?,
+            cpu_busy_fraction: r.get_f64()?,
+        })
     }
 
     /// Regrow up to `mb` MiB of previously dropped page cache — the

@@ -211,6 +211,15 @@ impl SimServer {
         Ok(&self.domains[&id])
     }
 
+    /// Insert a domain restored from an engine checkpoint, bypassing
+    /// [`create_domain`](Self::create_domain)'s admission checks: a
+    /// restored domain carries live guest state (it must not re-boot
+    /// fresh), and a snapshotted server may legitimately sit below its
+    /// base capacity mid-reclamation. Replaces any same-id resident.
+    pub fn restore_domain(&mut self, domain: Domain) {
+        self.domains.insert(domain.spec.id, domain);
+    }
+
     /// Destroy a domain and return it (e.g. for migration accounting).
     pub fn destroy_domain(&mut self, id: VmId) -> Result<Domain> {
         self.domains.remove(&id).ok_or(DeflateError::UnknownVm(id))

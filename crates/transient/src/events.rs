@@ -10,6 +10,7 @@
 //! (capacity reclamation/restitution, utilisation ticks) can be scheduled
 //! dynamically while the simulation is running.
 
+use deflate_core::checkpoint::{ByteReader, ByteWriter, CheckpointError, CheckpointResult};
 use deflate_core::vm::ServerId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -96,6 +97,56 @@ impl SimEvent {
             SimEvent::ScaleIn { .. } => 6,
             SimEvent::UtilizationTick => 7,
         }
+    }
+
+    /// Serialize the event for an engine checkpoint: the kind's rank as
+    /// the discriminant, then the payload fields.
+    pub fn write_snapshot(&self, w: &mut ByteWriter) {
+        w.put_u8(self.rank());
+        match self {
+            SimEvent::Arrival(i) | SimEvent::Departure(i) => w.put_usize(*i),
+            SimEvent::MigrationComplete { migration } => w.put_u64(*migration),
+            SimEvent::CapacityRestore {
+                server,
+                available_fraction,
+            }
+            | SimEvent::CapacityReclaim {
+                server,
+                available_fraction,
+            } => {
+                w.put_u32(server.0);
+                w.put_f64(*available_fraction);
+            }
+            SimEvent::ScaleOut { app } | SimEvent::ScaleIn { app } => w.put_u32(*app),
+            SimEvent::UtilizationTick => {}
+        }
+    }
+
+    /// Decode an event written by [`write_snapshot`](Self::write_snapshot).
+    pub fn read_snapshot(r: &mut ByteReader<'_>) -> CheckpointResult<Self> {
+        Ok(match r.get_u8()? {
+            0 => SimEvent::Departure(r.get_usize()?),
+            1 => SimEvent::MigrationComplete {
+                migration: r.get_u64()?,
+            },
+            2 => SimEvent::CapacityRestore {
+                server: ServerId(r.get_u32()?),
+                available_fraction: r.get_f64()?,
+            },
+            3 => SimEvent::CapacityReclaim {
+                server: ServerId(r.get_u32()?),
+                available_fraction: r.get_f64()?,
+            },
+            4 => SimEvent::Arrival(r.get_usize()?),
+            5 => SimEvent::ScaleOut { app: r.get_u32()? },
+            6 => SimEvent::ScaleIn { app: r.get_u32()? },
+            7 => SimEvent::UtilizationTick,
+            other => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "unknown SimEvent discriminant {other}"
+                )))
+            }
+        })
     }
 
     /// Entity id used as the final tie-break among same-kind events at the
@@ -272,6 +323,18 @@ impl EventQueue {
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Every pending event in the queue's pop order, without draining it.
+    /// `BinaryHeap::iter` yields an arbitrary layout-dependent order, so
+    /// the collected events are sorted under [`event_cmp`] — the result is
+    /// independent of how (and in what order) events were pushed, which is
+    /// what makes checkpoint bytes reproducible.
+    pub fn contents(&self) -> Vec<(f64, SimEvent)> {
+        let mut events: Vec<(f64, SimEvent)> =
+            self.heap.iter().map(|s| (s.time, s.event)).collect();
+        events.sort_by(|a, b| event_cmp(*a, *b));
+        events
     }
 
     /// True when no events are pending.

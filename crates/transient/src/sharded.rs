@@ -278,6 +278,17 @@ impl ShardedEventQueue {
     pub fn shard_lens(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.len()).collect()
     }
+
+    /// Every pending event across all shards, in the queue's global pop
+    /// order. Because the order is total and routing never affects it,
+    /// the result — and therefore the checkpoint bytes derived from it —
+    /// is identical for every shard count.
+    pub fn contents(&self) -> Vec<(f64, SimEvent)> {
+        let mut events: Vec<(f64, SimEvent)> =
+            self.shards.iter().flat_map(|s| s.contents()).collect();
+        events.sort_by(|a, b| event_cmp(*a, *b));
+        events
+    }
 }
 
 #[cfg(test)]
@@ -452,6 +463,34 @@ mod tests {
             .iter()
             .any(|row| row.phase == deflate_telemetry::Phase::Heapify));
         assert_eq!(report.phases.shards.len(), 3);
+    }
+
+    #[test]
+    fn contents_are_pop_order_and_shard_count_independent() {
+        let events = soup(20);
+        let expected = drain_sequential(&events);
+        for shards in [1, 2, 4] {
+            let q =
+                ShardedEventQueue::build(ShardConfig::with_shards(shards), 13, 20, events.clone());
+            assert_eq!(q.contents(), expected, "{shards}-shard contents diverged");
+            assert_eq!(q.len(), events.len(), "contents must not drain");
+        }
+    }
+
+    #[test]
+    fn events_snapshot_round_trip() {
+        use deflate_core::checkpoint::{ByteReader, ByteWriter};
+        let events = soup(10);
+        let mut w = ByteWriter::new();
+        for &(_, e) in &events {
+            e.write_snapshot(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for &(_, e) in &events {
+            assert_eq!(SimEvent::read_snapshot(&mut r).unwrap(), e);
+        }
+        r.finish().unwrap();
     }
 
     #[test]

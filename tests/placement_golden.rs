@@ -25,41 +25,11 @@ use deflate_bench::transient_exp::{
     transient_workload, SchedulerVariant, TransientMode, SCHEDULER_SWEEP_MBPS,
 };
 use deflate_bench::Scale;
-use vmdeflate::cluster::metrics::SimResult;
 use vmdeflate::core::placement::PlacementEngine;
 use vmdeflate::transient::signal::CapacityProfile;
 
-/// FNV-1a 64-bit over a byte string — tiny, dependency-free, stable.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// Bit-faithful digest of every deterministic `SimResult` field. Only the
-/// wall-clock reading (and the derived events/s) is excluded — everything
-/// else, down to per-VM allocation histories and the migration event log,
-/// feeds the hash.
-fn digest(result: &SimResult) -> u64 {
-    let deterministic = (
-        &result.records,
-        &result.counters,
-        &result.transient,
-        &result.scheduler,
-        &result.autoscale,
-        &result.migrations,
-        &result.utilization,
-        result.num_servers,
-        result.overcommitment.to_bits(),
-        &result.policy_name,
-        result.runtime.events_processed,
-        result.runtime.shards,
-    );
-    fnv1a64(format!("{deterministic:?}").as_bytes())
-}
+mod common;
+use common::sim_result_digest as digest;
 
 /// The `fig_transient` quick grid: one digest per (profile, mode).
 fn transient_digests() -> Vec<(String, u64)> {

@@ -310,6 +310,109 @@ fn parallel_placement_engine_with_telemetry_is_bit_identical() {
     }
 }
 
+/// **Fork determinism**: two forks of the same snapshot under the same
+/// [`TransferPolicy`] are bit-identical, and forks under different
+/// policies share the identical pre-fork history (the snapshot is the
+/// single source of the prefix — what diverges afterwards is policy,
+/// never replay noise). This is the property `fig_whatif`'s
+/// model-predictive loop rests on.
+#[test]
+fn forks_of_one_snapshot_are_deterministic() {
+    use deflate_bench::transient_exp::{dirty_aware_migration_cost, transient_simulation};
+    let scale = Scale::Quick;
+    let workload = transient_workload(scale);
+    let profile = CapacityProfile::spot_market_default();
+    let cost = dirty_aware_migration_cost(1250.0);
+    let sim = |policy: TransferPolicy| {
+        transient_simulation(
+            &workload,
+            scale,
+            deflate_bench::transient_exp::TransientMode::Deflation,
+            profile,
+            cost,
+            policy,
+        )
+    };
+    let snapshot = sim(TransferPolicy::fifo()).checkpoint(&workload, 2.0 * 3600.0);
+    for policy in [
+        TransferPolicy::fifo(),
+        TransferPolicy::edf().with_deflate_then_migrate(true),
+    ] {
+        let first = sim(policy).resume(&workload, &snapshot).expect("restores");
+        let second = sim(policy).resume(&workload, &snapshot).expect("restores");
+        assert_eq!(first, second, "two forks under {} diverged", policy.name());
+    }
+    // Different-policy forks still agree on everything decided before the
+    // fork point: the committed policy name aside, their event streams
+    // may only diverge after 2 h.
+    let fifo = sim(TransferPolicy::fifo())
+        .resume(&workload, &snapshot)
+        .expect("restores");
+    let edf = sim(TransferPolicy::edf())
+        .resume(&workload, &snapshot)
+        .expect("restores");
+    let pre_fork = |result: &vmdeflate::cluster::metrics::SimResult| {
+        result
+            .migrations
+            .iter()
+            .filter(|m| m.time_secs <= 2.0 * 3600.0)
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        pre_fork(&fifo),
+        pre_fork(&edf),
+        "pre-fork migration history diverged between sibling forks"
+    );
+}
+
+/// Snapshots taken under sharded engines restore to the sequential
+/// run's result: checkpoint at shards ∈ {2, 4}, resume sequentially
+/// (and crosswise), full `SimResult` equality throughout. Together with
+/// the byte-identity pin in `tests/checkpoint_restore.rs` this closes
+/// the loop: sharding affects neither the bytes nor what they restore
+/// to.
+#[test]
+fn sharded_snapshots_restore_to_the_sequential_result() {
+    let scale = Scale::Quick;
+    let workload = transient_workload(scale);
+    let profile = CapacityProfile::spot_market_default();
+    let cost = default_migration_cost();
+    let sim = |shards: usize| {
+        deflate_bench::transient_exp::transient_simulation(
+            &workload,
+            scale,
+            TransientMode::Deflation,
+            profile,
+            cost,
+            TransferPolicy::fifo(),
+        )
+        .with_shards(ShardConfig::with_shards(shards))
+    };
+    let sequential_full = sim(1).run(&workload);
+    let at = 5.0 * 3600.0;
+    let sequential_snap = sim(1).checkpoint(&workload, at);
+    for shards in [2, 4] {
+        let sharded_snap = sim(shards).checkpoint(&workload, at);
+        assert_eq!(
+            sequential_snap, sharded_snap,
+            "snapshot bytes changed at {shards} shards"
+        );
+        let resumed_sequentially = sim(1).resume(&workload, &sharded_snap).expect("restores");
+        assert_eq!(
+            sequential_full, resumed_sequentially,
+            "sequential restore of a {shards}-shard snapshot diverged"
+        );
+        let resumed_sharded = sim(shards)
+            .resume(&workload, &sequential_snap)
+            .expect("restores");
+        assert_eq!(
+            sequential_full, resumed_sharded,
+            "{shards}-shard restore of the sequential snapshot diverged"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
