@@ -137,6 +137,12 @@ impl LatencyStats {
         &self.response_times
     }
 
+    /// Owned heap bytes behind the accumulator: the response-time sample
+    /// buffer's capacity. Feeds the engine's per-subsystem memory ledger.
+    pub fn accounted_bytes(&self) -> u64 {
+        deflate_core::mem::vec_capacity_bytes(&self.response_times)
+    }
+
     /// Serialize the accumulator for an engine checkpoint: every served
     /// response time (in arrival order — the order drives nothing, but
     /// keeping it makes the restored accumulator bit-identical) plus the

@@ -450,6 +450,40 @@ impl Autoscaler {
     pub fn stats(&self) -> &AutoscaleStats {
         &self.stats
     }
+
+    /// Current pool composition across all applications: `(active, parked)`
+    /// member counts. The audit observatory's replica-ledger checker uses
+    /// this to verify *mid-run* that
+    /// `launches == retirements + replicas_lost + active + parked` — the
+    /// conservation law [`AutoscaleStats::replicas_conserved`] only checks
+    /// at the end of a run.
+    pub fn live_replicas(&self) -> (usize, usize) {
+        let mut active = 0;
+        let mut parked = 0;
+        for app in &self.apps {
+            for m in &app.members {
+                if m.parked {
+                    parked += 1;
+                } else {
+                    active += 1;
+                }
+            }
+        }
+        (active, parked)
+    }
+
+    /// Owned heap bytes behind the control loop: the per-application member
+    /// pools and the latency-sample buffer. Feeds the engine's
+    /// `mem.autoscaler` gauge.
+    pub fn accounted_bytes(&self) -> u64 {
+        deflate_core::mem::vec_capacity_bytes(&self.apps)
+            + self
+                .apps
+                .iter()
+                .map(|a| deflate_core::mem::vec_capacity_bytes(&a.members))
+                .sum::<u64>()
+            + self.stats.latency.accounted_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -2,4 +2,5 @@
 use deflate_bench::Scale;
 fn main() {
     deflate_bench::feasibility::fig10(Scale::from_env_and_args()).print();
+    deflate_bench::report::append_process_footer_json("fig10");
 }

@@ -2,4 +2,5 @@
 use deflate_bench::Scale;
 fn main() {
     deflate_bench::cluster_exp::fig20_table(Scale::from_env_and_args()).print();
+    deflate_bench::report::append_process_footer_json("fig20");
 }

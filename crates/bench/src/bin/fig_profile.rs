@@ -34,6 +34,7 @@ fn main() {
         println!("trace: {}", run.trace_path.display());
         failures.extend(run.failures());
     }
+    deflate_bench::report::append_process_footer_json("fig_profile");
     if !failures.is_empty() {
         eprintln!("PROFILE FAILURE: {}", failures.join("; "));
         std::process::exit(1);

@@ -22,6 +22,7 @@ fn main() {
         _ => scale_sweep(scale),
     };
     table_from_rows(&rows).print();
+    deflate_bench::report::append_process_footer_json("fig_scale");
     let diverged: Vec<String> = rows
         .iter()
         .filter(|r| !r.parity)

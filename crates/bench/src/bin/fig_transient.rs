@@ -3,4 +3,5 @@
 use deflate_bench::Scale;
 fn main() {
     deflate_bench::transient_exp::fig_transient_table(Scale::from_env_and_args()).print();
+    deflate_bench::report::append_process_footer_json("fig_transient");
 }

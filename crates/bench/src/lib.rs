@@ -20,6 +20,8 @@
 //! | [`scale_exp`] | engine-scaling sweep: cluster size × shard count (`fig_scale`) |
 //! | [`whatif_exp`] | what-if meta-scheduler: checkpoint/fork model-predictive transfer-policy selection (`fig_whatif`) |
 //! | [`profile_exp`] | engine phase profile: per-phase self time + Chrome trace (`fig_profile`) |
+//! | [`memory_exp`] | per-subsystem memory accounting vs procfs RSS (`fig_memory`) |
+//! | [`audit_exp`] | checkpoint-bisection divergence diagnosis (`deflate-audit`) |
 //! | [`ablation`] | placement / partition / mechanism ablations |
 //!
 //! Beyond the paper's figures, the transient experiments charge every live
@@ -39,9 +41,11 @@
 
 pub mod ablation;
 pub mod apps_exp;
+pub mod audit_exp;
 pub mod autoscale_exp;
 pub mod cluster_exp;
 pub mod feasibility;
+pub mod memory_exp;
 pub mod profile_exp;
 pub mod report;
 pub mod scale;

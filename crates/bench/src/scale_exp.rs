@@ -32,6 +32,7 @@ use deflate_cluster::spec::{
     paper_server_capacity, servers_for_transient_overcommitment, workload_from_azure,
     MinAllocationRule, WorkloadVm,
 };
+use deflate_core::audit::AuditSpec;
 use deflate_core::checkpoint::{ByteReader, ByteWriter, CheckpointError, CheckpointResult};
 use deflate_core::placement::{PartitionScheme, PlacementEngine};
 use deflate_core::policy::ProportionalDeflation;
@@ -144,14 +145,47 @@ pub fn run_scale_cell_with_telemetry(
 }
 
 /// [`run_scale_cell_with_telemetry`] with an explicit placement-ranking
-/// engine — the fully-parameterised cell, used by the sweep when
-/// `DEFLATE_PLACEMENT_WORKERS` is set and by the engine-parity tests.
+/// engine — used by the sweep when `DEFLATE_PLACEMENT_WORKERS` is set
+/// and by the engine-parity tests.
 pub fn run_scale_cell_placed(
     workload: &[WorkloadVm],
     scale: Scale,
     shards: ShardConfig,
     engine: PlacementEngine,
     telemetry: TelemetrySink,
+) -> (SimResult, usize) {
+    run_scale_cell_configured(workload, scale, shards, engine, telemetry, AuditSpec::off())
+}
+
+/// [`run_scale_cell`] with the online invariant auditor on — the run
+/// behind the auditor determinism pins (`tests/telemetry_determinism.rs`
+/// and `tests/shard_parity.rs`): every checker is strictly read-only, so
+/// the result must stay bit-identical to the unaudited baseline at any
+/// shard count, or the run panics on the first violated invariant.
+pub fn run_scale_cell_audited(
+    workload: &[WorkloadVm],
+    scale: Scale,
+    shards: ShardConfig,
+    audit: AuditSpec,
+) -> (SimResult, usize) {
+    run_scale_cell_configured(
+        workload,
+        scale,
+        shards,
+        PlacementEngine::default(),
+        TelemetrySink::disabled(),
+        audit,
+    )
+}
+
+/// The fully-parameterised cell behind every `run_scale_cell*` variant.
+pub fn run_scale_cell_configured(
+    workload: &[WorkloadVm],
+    scale: Scale,
+    shards: ShardConfig,
+    engine: PlacementEngine,
+    telemetry: TelemetrySink,
+    audit: AuditSpec,
 ) -> (SimResult, usize) {
     let capacity = paper_server_capacity();
     let profile = CapacityProfile::spot_market_default();
@@ -186,6 +220,7 @@ pub fn run_scale_cell_placed(
     .with_shards(shards)
     .with_placement_engine(engine)
     .with_telemetry(telemetry)
+    .with_audit(audit)
     .run(workload);
     (result, servers)
 }

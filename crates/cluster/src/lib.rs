@@ -100,6 +100,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
+pub mod bisect;
 pub mod manager;
 pub mod metrics;
 pub mod placement;
@@ -107,6 +109,8 @@ pub mod scheduler;
 pub mod sim;
 pub mod spec;
 
+pub use audit::{AuditViolation, Auditor};
+pub use bisect::{bisect_divergence, first_divergent_field, DivergenceReport, SnapshotDiff};
 pub use manager::{
     AdmissionCounters, CapacityChangeOutcome, ClusterConfig, ClusterManager, MigrationRecord,
     PendingMigration, PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
@@ -119,6 +123,10 @@ pub use spec::{MinAllocationRule, WorkloadVm};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
+    pub use crate::audit::{AuditViolation, Auditor};
+    pub use crate::bisect::{
+        bisect_divergence, first_divergent_field, DivergenceReport, SnapshotDiff,
+    };
     pub use crate::manager::{
         AdmissionCounters, CapacityChangeOutcome, ClusterConfig, ClusterManager, MigrationRecord,
         PendingMigration, PlacementKind, PlacementResult, ReclamationMode, TransientCounters,
@@ -130,6 +138,7 @@ pub mod prelude {
         min_cluster_size, overcommitment_of, paper_server_capacity, servers_for_overcommitment,
         servers_for_transient_overcommitment, workload_from_azure, MinAllocationRule, WorkloadVm,
     };
+    pub use deflate_core::audit::AuditSpec;
     pub use deflate_core::policy::{TransferOrdering, TransferPolicy};
     pub use deflate_hypervisor::migration::MigrationCostModel;
 }

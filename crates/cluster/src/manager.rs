@@ -49,6 +49,7 @@
 //! its page cache, shrinking the hot footprint and the copy time under the
 //! deadline.
 
+use crate::audit::AuditFinding;
 use crate::placement::PlacementIndex;
 use crate::scheduler::{SchedulerStats, TransferDecision, TransferRequest, TransferScheduler};
 use deflate_autoscale::ElasticCluster;
@@ -66,7 +67,7 @@ use deflate_hypervisor::controller::{AdmissionOutcome, LocalController};
 use deflate_hypervisor::domain::{CacheRegrowthModel, DeflationMechanism, Domain};
 use deflate_hypervisor::migration::MigrationCostModel;
 use deflate_hypervisor::server::SimServer;
-use deflate_telemetry::{Phase, TelemetrySink};
+use deflate_telemetry::{MemoryLedger, Phase, TelemetrySink};
 use deflate_transient::pool::{run_tasks, Task, WorkerPool};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -1836,6 +1837,204 @@ impl ClusterManager {
     /// With no transfer in flight this is the strict physical invariant.
     pub fn check_invariants(&self) -> bool {
         (0..self.controllers.len()).all(|idx| self.fits_with_pending(idx))
+    }
+
+    /// Audit probe: capacity conservation. Every server's effective usage,
+    /// minus allocations pledged to leave on an in-flight transfer, must
+    /// fit its (possibly reclaimed) capacity. Read-only; returns the first
+    /// offending server with a diagnostic.
+    pub(crate) fn audit_capacity(&self) -> std::result::Result<(), AuditFinding> {
+        for idx in 0..self.controllers.len() {
+            if !self.fits_with_pending(idx) {
+                let server = self.controllers[idx].server();
+                return Err(AuditFinding {
+                    server: Some(server.id),
+                    detail: format!(
+                        "capacity conservation violated on server {}: effective used {} \
+                         minus pending outbound {} exceeds capacity {}",
+                        server.id.0,
+                        server.effective_used(),
+                        self.pending_outbound(idx),
+                        server.capacity
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Audit probe: bandwidth-ledger balance. Every live in-flight transfer
+    /// (resolving strictly after `now_secs`, booked before its deadline)
+    /// must hold a reservation — an entry whose end time equals the
+    /// transfer's event time — on **both** endpoints' scheduler ledgers.
+    /// The reverse is deliberately not checked: cancelled transfers
+    /// (forced evictions, departures mid-transfer) leave their
+    /// reservations to drain, so the ledger may legitimately hold entries
+    /// with no matching flight. Skipped entirely under an unlimited
+    /// bandwidth budget, where the scheduler reserves nothing.
+    pub(crate) fn audit_bandwidth_ledger(
+        &self,
+        now_secs: f64,
+    ) -> std::result::Result<(), AuditFinding> {
+        if self.cost_model.concurrent_slots() == usize::MAX {
+            return Ok(());
+        }
+        // Group required reservation end times per endpoint. Sorted-order
+        // iteration is not needed for correctness (the multiset check is
+        // order-independent) but keeps the first-failure diagnostic
+        // deterministic despite HashMap iteration order.
+        let mut required: Vec<Vec<f64>> = vec![Vec::new(); self.controllers.len()];
+        for flight in self.in_flight.values() {
+            let end = flight.event_secs();
+            if end > now_secs && flight.start_secs < flight.deadline_secs {
+                required[flight.source].push(end);
+                required[flight.dest].push(end);
+            }
+        }
+        let ledgers = self.scheduler.ledgers();
+        for (idx, req) in required.iter_mut().enumerate() {
+            if req.is_empty() {
+                continue;
+            }
+            req.sort_by(f64::total_cmp);
+            let mut live: Vec<f64> = ledgers[idx]
+                .iter()
+                .copied()
+                .filter(|&end| end > now_secs)
+                .collect();
+            live.sort_by(f64::total_cmp);
+            // Multiset containment: every required end must be matched by a
+            // distinct live ledger entry with the same end time.
+            let mut li = 0;
+            for &end in req.iter() {
+                while li < live.len() && live[li] < end {
+                    li += 1;
+                }
+                if li >= live.len() || live[li] != end {
+                    return Err(AuditFinding {
+                        server: Some(self.controllers[idx].server().id),
+                        detail: format!(
+                            "bandwidth ledger unbalanced on server {}: in-flight transfer \
+                             resolving at t={end:.3}s has no backing reservation \
+                             ({} live ledger entries, {} required)",
+                            self.controllers[idx].server().id.0,
+                            live.len(),
+                            req.len()
+                        ),
+                    });
+                }
+                li += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Audit probe: placement-index consistency. Every server *not* marked
+    /// dirty must have a cached view identical to one freshly derived from
+    /// the server — a stale clean entry means some view-affecting mutation
+    /// skipped [`mark_server_dirty`](Self::mark_server_dirty) and the
+    /// ranking pass is reading corrupt data. Read-only: dirty entries are
+    /// skipped, never refreshed (refreshing would mutate state the
+    /// determinism contract says an auditor must not touch).
+    pub(crate) fn audit_placement_index(&self) -> std::result::Result<(), AuditFinding> {
+        let dirty = self.index.dirty_indices();
+        for (idx, cached) in self.index.views().iter().enumerate() {
+            if dirty.binary_search(&idx).is_ok() {
+                continue;
+            }
+            let fresh = self.controllers[idx].server().view();
+            if *cached != fresh {
+                return Err(AuditFinding {
+                    server: Some(self.controllers[idx].server().id),
+                    detail: format!(
+                        "placement index inconsistent on server {}: cached view \
+                         (used {}, overcommitment {:.4}) differs from a fresh rescan \
+                         (used {}, overcommitment {:.4}) but the server is not dirty",
+                        self.controllers[idx].server().id.0,
+                        cached.used,
+                        cached.overcommitment,
+                        fresh.used,
+                        fresh.overcommitment
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Record this subsystem's owned heap bytes into the engine's memory
+    /// ledger: the per-server controllers (domains and notification
+    /// buffers), the incremental placement index, the transfer scheduler's
+    /// reservation ledgers, and the migration bookkeeping maps.
+    pub fn record_memory(&self, ledger: &mut MemoryLedger) {
+        use deflate_core::mem::{map_entry_bytes, vec_capacity_bytes};
+        use std::mem::size_of;
+        let servers = vec_capacity_bytes(&self.controllers)
+            + self
+                .controllers
+                .iter()
+                .map(|c| c.accounted_bytes())
+                .sum::<u64>();
+        ledger.record("servers", servers);
+        ledger.record("placement_index", self.index.accounted_bytes());
+        ledger.record("scheduler", self.scheduler.accounted_bytes());
+        let migrations = self.vm_location.len() as u64
+            * map_entry_bytes(size_of::<VmId>(), size_of::<usize>())
+            + self.migration_origin.len() as u64
+                * map_entry_bytes(size_of::<VmId>(), size_of::<usize>())
+            + self.in_flight.len() as u64
+                * map_entry_bytes(size_of::<u64>(), size_of::<InFlight>())
+            + self.in_flight_by_vm.len() as u64
+                * map_entry_bytes(size_of::<VmId>(), size_of::<u64>())
+            + vec_capacity_bytes(&self.staged)
+            + vec_capacity_bytes(&self.last_reclaim_secs);
+        ledger.record("migrations", migrations);
+    }
+
+    /// Mutable controller access for the auditor's mutation-style tests
+    /// (corrupting a server *without* marking it dirty is exactly the bug
+    /// class `audit_placement_index` exists to catch).
+    #[cfg(test)]
+    pub(crate) fn controller_mut(&mut self, idx: usize) -> &mut LocalController {
+        &mut self.controllers[idx]
+    }
+
+    /// Mutable scheduler access for the auditor's mutation-style tests.
+    #[cfg(test)]
+    pub(crate) fn scheduler_mut(&mut self) -> &mut TransferScheduler {
+        &mut self.scheduler
+    }
+
+    /// Insert a synthetic in-flight transfer (no domains, no reservations)
+    /// so the bandwidth-ledger checker can be exercised in isolation.
+    /// Returns the migration id.
+    #[cfg(test)]
+    pub(crate) fn inject_test_flight(
+        &mut self,
+        vm: VmId,
+        source: usize,
+        dest: usize,
+        start_secs: f64,
+        finish_secs: f64,
+        deadline_secs: f64,
+    ) -> u64 {
+        let id = self.next_migration_id;
+        self.next_migration_id += 1;
+        self.in_flight.insert(
+            id,
+            InFlight {
+                vm,
+                source,
+                dest,
+                start_secs,
+                finish_secs,
+                deadline_secs,
+                volume_mb: 0.0,
+                back: false,
+            },
+        );
+        self.in_flight_by_vm.insert(vm, id);
+        id
     }
 
     /// Serialize the manager's **dynamic** state for an engine checkpoint:

@@ -66,6 +66,14 @@ impl VmRecord {
         (self.end_secs() - self.arrival_secs).max(0.0) / 3600.0
     }
 
+    /// Owned heap bytes behind the record: the allocation-history
+    /// change-points and the utilisation trace. Feeds the engine's
+    /// `mem.vm_records` gauge.
+    pub fn accounted_bytes(&self) -> u64 {
+        deflate_core::mem::vec_capacity_bytes(&self.allocation_history)
+            + self.cpu_util.accounted_bytes()
+    }
+
     /// The CPU allocation fraction in effect at an absolute simulation time.
     pub fn allocation_fraction_at(&self, time_secs: f64) -> f64 {
         if self.allocation_history.is_empty()

@@ -128,6 +128,15 @@ impl PlacementIndex {
         &self.views
     }
 
+    /// Owned heap bytes behind the index: the cached view table, the
+    /// dirty bitmap and the dirty queue (see `deflate_core::mem` for the
+    /// convention). Feeds the engine's `mem.placement_index` gauge.
+    pub fn accounted_bytes(&self) -> u64 {
+        deflate_core::mem::vec_capacity_bytes(&self.views)
+            + deflate_core::mem::vec_capacity_bytes(&self.dirty)
+            + deflate_core::mem::vec_capacity_bytes(&self.dirty_queue)
+    }
+
     /// Rank the cached views for `vm` and pick a server — the incremental
     /// replacement for "rebuild all views, then `policy.place`". The
     /// caller must [`refresh`](PlacementIndex::refresh) first; `excluded`

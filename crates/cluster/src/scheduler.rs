@@ -125,6 +125,34 @@ impl TransferScheduler {
         self.stats
     }
 
+    /// Owned heap bytes behind the scheduler: the per-server reservation
+    /// ledgers (spine plus each ledger's capacity). Feeds the engine's
+    /// `mem.scheduler` gauge.
+    pub fn accounted_bytes(&self) -> u64 {
+        deflate_core::mem::vec_capacity_bytes(&self.reservations)
+            + self
+                .reservations
+                .iter()
+                .map(deflate_core::mem::vec_capacity_bytes)
+                .sum::<u64>()
+    }
+
+    /// Read-only view of the per-server reservation ledgers: each entry is
+    /// the end time of a transfer holding one link worth of that server's
+    /// budget. Used by the bandwidth-ledger audit checker, which verifies
+    /// that every live in-flight transfer is backed by reservations on
+    /// both endpoints. (The reverse is deliberately *not* an invariant:
+    /// cancelled transfers leave their reservations to drain.)
+    pub(crate) fn ledgers(&self) -> &[Vec<f64>] {
+        &self.reservations
+    }
+
+    /// Mutable ledger access for the auditor's mutation-style tests.
+    #[cfg(test)]
+    pub(crate) fn ledger_mut(&mut self, idx: usize) -> &mut Vec<f64> {
+        &mut self.reservations[idx]
+    }
+
     /// Serialize the scheduler's *dynamic* state — the per-server
     /// reservation ledgers and the accumulated stats — for an engine
     /// checkpoint. The policy is deliberately not written: it is

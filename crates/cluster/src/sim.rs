@@ -52,10 +52,12 @@
 //! one (pinned by `tests/shard_parity.rs`, documented in
 //! `docs/PERFORMANCE.md`).
 
+use crate::audit::Auditor;
 use crate::manager::{ClusterConfig, ClusterManager, PlacementResult, ReclamationMode};
 use crate::metrics::{MigrationEvent, RunStats, SimResult, VmOutcome, VmRecord};
 use crate::spec::WorkloadVm;
 use deflate_autoscale::{Autoscaler, ElasticApp};
+use deflate_core::audit::AuditSpec;
 use deflate_core::checkpoint::{ByteReader, ByteWriter, CheckpointError, CheckpointResult};
 use deflate_core::placement::PlacementEngine;
 use deflate_core::policy::{AutoscalePolicy, RestorePolicy, TransferPolicy};
@@ -64,7 +66,7 @@ use deflate_core::telemetry::TelemetrySpec;
 use deflate_core::vm::{ServerId, VmId};
 use deflate_hypervisor::domain::CacheRegrowthModel;
 use deflate_hypervisor::migration::MigrationCostModel;
-use deflate_telemetry::{EventField, Phase, TelemetryEventKind, TelemetrySink};
+use deflate_telemetry::{EventField, MemoryLedger, Phase, TelemetryEventKind, TelemetrySink};
 use deflate_transient::events::SimEvent;
 use deflate_transient::pool::{run_tasks, Task, WorkerPool};
 use deflate_transient::sharded::ShardedEventQueue;
@@ -88,6 +90,10 @@ pub struct ClusterSimulation {
     shards: ShardConfig,
     placement_engine: PlacementEngine,
     telemetry: TelemetrySink,
+    audit: AuditSpec,
+    /// Memory-ledger sampling cadence, in utilisation ticks (1 = every
+    /// tick). Only consulted when telemetry is enabled.
+    memory_sample_every_ticks: u64,
 }
 
 /// The engine's complete working state between event boundaries: the
@@ -107,6 +113,10 @@ struct EngineState {
     migrations: Vec<MigrationEvent>,
     utilization: Vec<(f64, f64)>,
     events_processed: u64,
+    /// The online invariant auditor, present only when an [`AuditSpec`]
+    /// enables at least one checker. Pure observer: never serialized into
+    /// snapshots, never consulted by any decision path.
+    auditor: Option<Auditor>,
 }
 
 impl ClusterSimulation {
@@ -129,7 +139,37 @@ impl ClusterSimulation {
             shards: ShardConfig::sequential(),
             placement_engine: PlacementEngine::default(),
             telemetry: TelemetrySink::disabled(),
+            audit: AuditSpec::off(),
+            memory_sample_every_ticks: 1,
         }
+    }
+
+    /// Run the online invariant auditor with the given [`AuditSpec`]: the
+    /// enabled checkers re-verify engine invariants after **every**
+    /// processed event and fail fast (with a diagnostic naming the
+    /// checker, event id, time and server) on the first violation. Off by
+    /// default — and strictly observational when on: a run with every
+    /// checker enabled is bit-identical to a run with auditing off
+    /// (pinned by `tests/telemetry_determinism.rs`). See
+    /// [`Auditor`] documentation.
+    pub fn with_audit(mut self, spec: AuditSpec) -> Self {
+        self.audit = spec;
+        self
+    }
+
+    /// The audit spec in effect (off unless configured).
+    pub fn audit_spec(&self) -> AuditSpec {
+        self.audit
+    }
+
+    /// Sample the per-subsystem memory ledger every `ticks` utilisation
+    /// ticks (default 1 = every tick; values below 1 are clamped). The
+    /// ledger also publishes once at the end of every telemetry-enabled
+    /// run, so runs without utilisation ticks still report final `mem.*`
+    /// gauges.
+    pub fn with_memory_sample_every(mut self, ticks: u64) -> Self {
+        self.memory_sample_every_ticks = ticks.max(1);
+        self
     }
 
     /// Observe the run through a telemetry sink (`deflate-telemetry`):
@@ -427,6 +467,7 @@ impl ClusterSimulation {
             migrations: Vec::new(),
             utilization: Vec::new(),
             events_processed: 0,
+            auditor: (!self.audit.is_off()).then(|| Auditor::new(self.audit)),
         }
     }
 
@@ -446,6 +487,7 @@ impl ClusterSimulation {
             migrations,
             utilization,
             events_processed,
+            auditor,
         } = state;
         loop {
             if let Some(stop) = stop_secs {
@@ -676,6 +718,26 @@ impl ClusterSimulation {
                             queue.push(t, event);
                         }
                     }
+                    // Memory-ledger sampling rides the utilisation-tick
+                    // cadence: per-subsystem byte gauges plus the live
+                    // VmRSS ground truth. Gauges only — skipped entirely
+                    // when telemetry is off, and never consulted by any
+                    // decision path.
+                    if self.telemetry.enabled()
+                        && (utilization.len() as u64).is_multiple_of(self.memory_sample_every_ticks)
+                    {
+                        self.publish_memory(
+                            workload,
+                            manager,
+                            queue,
+                            index_of,
+                            records,
+                            running,
+                            migrations,
+                            utilization,
+                            autoscaler.as_ref(),
+                        );
+                    }
                 }
                 SimEvent::ScaleOut { app } => {
                     let _span = self.telemetry.span(Phase::Autoscale);
@@ -724,6 +786,34 @@ impl ClusterSimulation {
                     }
                 }
             }
+            // The audit point: after the event's handler has settled, the
+            // enabled checkers re-verify the engine's invariants against
+            // the state the handler left behind. Strictly read-only; the
+            // run fails fast on the first violation (every later number
+            // would be untrustworthy), after logging it to the event log.
+            if let Some(auditor) = auditor.as_mut() {
+                if let Some(violation) =
+                    auditor.after_event(*events_processed, time, manager, autoscaler.as_ref())
+                {
+                    if self.telemetry.wants(TelemetryEventKind::AuditViolation) {
+                        self.telemetry.log_event(
+                            TelemetryEventKind::AuditViolation,
+                            time,
+                            &[
+                                ("checker", EventField::Str(violation.checker)),
+                                ("event", EventField::U64(violation.event_id)),
+                                (
+                                    "server",
+                                    EventField::U64(
+                                        violation.server.map_or(u64::MAX, |s| u64::from(s.0)),
+                                    ),
+                                ),
+                            ],
+                        );
+                    }
+                    panic!("{violation}");
+                }
+            }
         }
     }
 
@@ -738,6 +828,22 @@ impl ClusterSimulation {
         state: EngineState,
         started_at: std::time::Instant,
     ) -> SimResult {
+        // Final memory-ledger publish: runs without utilisation ticks
+        // still report settled `mem.*` gauges (and the scale-sweep's
+        // before-picture relies on exactly this).
+        if self.telemetry.enabled() {
+            self.publish_memory(
+                workload,
+                &state.manager,
+                &state.queue,
+                &state.index_of,
+                &state.records,
+                &state.running,
+                &state.migrations,
+                &state.utilization,
+                state.autoscaler.as_ref(),
+            );
+        }
         let EngineState {
             manager,
             autoscaler,
@@ -779,6 +885,59 @@ impl ClusterSimulation {
                 events_processed,
                 shards: self.shards.count(),
             },
+        }
+    }
+
+    /// Publish the per-subsystem memory ledger into the telemetry metrics
+    /// registry: one deterministic `mem.<subsystem>` byte gauge per owner
+    /// (see [`MemoryLedger`]) plus `mem.accounted_total`, and alongside
+    /// them the live `mem.rss_kib` VmRSS reading — the OS-level ground
+    /// truth the accounted gauges are compared against by `fig_memory`
+    /// (absent off Linux). Caller guards on `telemetry.enabled()`.
+    #[allow(clippy::too_many_arguments)]
+    fn publish_memory(
+        &self,
+        workload: &[WorkloadVm],
+        manager: &ClusterManager,
+        queue: &ShardedEventQueue,
+        index_of: &HashMap<VmId, usize>,
+        records: &[VmRecord],
+        running: &[bool],
+        migrations: &[MigrationEvent],
+        utilization: &[(f64, f64)],
+        autoscaler: Option<&Autoscaler>,
+    ) {
+        use deflate_core::mem::{map_entry_bytes, vec_bytes};
+        use std::mem::size_of;
+        let mut ledger = MemoryLedger::new();
+        // The sink's own footprint first, measured before this publish
+        // grows the registry with the `mem.*` entries themselves.
+        ledger.record("telemetry", self.telemetry.accounted_bytes());
+        manager.record_memory(&mut ledger);
+        ledger.record("event_queue", queue.accounted_bytes());
+        ledger.record(
+            "vm_records",
+            vec_bytes(records)
+                + records.iter().map(VmRecord::accounted_bytes).sum::<u64>()
+                + vec_bytes(running)
+                + index_of.len() as u64 * map_entry_bytes(size_of::<VmId>(), size_of::<usize>()),
+        );
+        ledger.record(
+            "workload",
+            vec_bytes(workload)
+                + workload
+                    .iter()
+                    .map(WorkloadVm::accounted_bytes)
+                    .sum::<u64>(),
+        );
+        ledger.record("migration_log", vec_bytes(migrations));
+        ledger.record("utilization", vec_bytes(utilization));
+        if let Some(autoscaler) = autoscaler {
+            ledger.record("autoscaler", autoscaler.accounted_bytes());
+        }
+        ledger.publish(&self.telemetry);
+        if let Some(rss) = deflate_telemetry::rss_kib() {
+            self.telemetry.gauge_set("mem.rss_kib", rss);
         }
     }
 

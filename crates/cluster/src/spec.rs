@@ -83,6 +83,12 @@ impl WorkloadVm {
     pub fn lifetime_hours(&self) -> f64 {
         (self.departure_secs - self.arrival_secs).max(0.0) / 3600.0
     }
+
+    /// Owned heap bytes behind the workload entry (the utilisation trace).
+    /// Feeds the engine's `mem.workload` gauge.
+    pub fn accounted_bytes(&self) -> u64 {
+        self.cpu_util.accounted_bytes()
+    }
 }
 
 /// Convert a whole Azure trace into a workload, sorted by arrival time.

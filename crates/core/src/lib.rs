@@ -36,6 +36,13 @@
 //!   telemetry sinks (metrics registry, phase profiler, JSONL event log,
 //!   Chrome trace) a run should feed, **off by default**, with the
 //!   guarantee that enabling any sink never changes simulation results.
+//! * [`mem`] — byte-accounting conventions behind the per-subsystem
+//!   `accounted_bytes()` impls and the `mem.*` memory-ledger gauges.
+//! * [`audit`] — the online-audit knob ([`AuditSpec`]): which engine
+//!   invariants (capacity conservation, bandwidth-ledger balance, event
+//!   monotonicity, placement-index consistency, replica-ledger balance)
+//!   a run checks after every event, **off by default**, with the same
+//!   guarantee — auditing never changes results.
 //!
 //! The simulated hypervisor substrate lives in `deflate-hypervisor`, the
 //! cluster manager and discrete-event simulator in `deflate-cluster`.
@@ -60,8 +67,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 pub mod checkpoint;
 pub mod error;
+pub mod mem;
 pub mod perfmodel;
 pub mod placement;
 pub mod policy;
@@ -71,6 +80,7 @@ pub mod shard;
 pub mod telemetry;
 pub mod vm;
 
+pub use audit::AuditSpec;
 pub use checkpoint::{ByteReader, ByteWriter, CheckpointError, SNAPSHOT_VERSION};
 pub use error::{DeflateError, Result};
 pub use perfmodel::PerfModel;
@@ -82,6 +92,7 @@ pub use vm::{Priority, ServerId, VmAllocation, VmClass, VmId, VmSpec};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
+    pub use crate::audit::AuditSpec;
     pub use crate::error::{DeflateError, Result};
     pub use crate::perfmodel::PerfModel;
     pub use crate::placement::{

@@ -40,11 +40,17 @@ pub enum TelemetryEventKind {
     ScaleOut,
     /// An autoscaler scale-in actuation for one elastic application.
     ScaleIn,
+    /// An online invariant checker fired (see
+    /// [`AuditSpec`](crate::audit::AuditSpec)). Not an engine event — it
+    /// is emitted *about* the event that broke the invariant, immediately
+    /// before the run aborts with the diagnostic.
+    AuditViolation,
 }
 
 impl TelemetryEventKind {
-    /// Every kind, in the engine's same-timestamp delivery order.
-    pub const ALL: [TelemetryEventKind; 8] = [
+    /// Every kind, in the engine's same-timestamp delivery order
+    /// (audit violations, which ride on other events, come last).
+    pub const ALL: [TelemetryEventKind; 9] = [
         TelemetryEventKind::Departure,
         TelemetryEventKind::MigrationComplete,
         TelemetryEventKind::CapacityRestore,
@@ -53,6 +59,7 @@ impl TelemetryEventKind {
         TelemetryEventKind::ScaleOut,
         TelemetryEventKind::ScaleIn,
         TelemetryEventKind::UtilizationTick,
+        TelemetryEventKind::AuditViolation,
     ];
 
     /// Stable snake_case name, used as the `kind` field of JSONL trace
@@ -67,6 +74,7 @@ impl TelemetryEventKind {
             TelemetryEventKind::UtilizationTick => "utilization_tick",
             TelemetryEventKind::ScaleOut => "scale_out",
             TelemetryEventKind::ScaleIn => "scale_in",
+            TelemetryEventKind::AuditViolation => "audit_violation",
         }
     }
 
@@ -88,6 +96,7 @@ impl TelemetryEventKind {
             TelemetryEventKind::UtilizationTick => 1 << 5,
             TelemetryEventKind::ScaleOut => 1 << 6,
             TelemetryEventKind::ScaleIn => 1 << 7,
+            TelemetryEventKind::AuditViolation => 1 << 8,
         }
     }
 }
@@ -114,8 +123,10 @@ impl TelemetryEventSet {
             .fold(Self::none(), |set, kind| set.with(kind))
     }
 
-    /// Capacity changes, migration completions and autoscale actions —
-    /// the default JSONL filter.
+    /// Capacity changes, migration completions, autoscale actions and
+    /// audit violations — the default JSONL filter. (Violations are rare
+    /// and abort the run; filtering them out would hide the one line
+    /// that explains the abort.)
     pub fn decisions() -> Self {
         Self::none()
             .with(TelemetryEventKind::CapacityReclaim)
@@ -123,6 +134,7 @@ impl TelemetryEventSet {
             .with(TelemetryEventKind::MigrationComplete)
             .with(TelemetryEventKind::ScaleOut)
             .with(TelemetryEventKind::ScaleIn)
+            .with(TelemetryEventKind::AuditViolation)
     }
 
     /// This set plus one kind.

@@ -105,6 +105,13 @@ impl LocalController {
         std::mem::take(&mut self.notifications)
     }
 
+    /// Owned heap bytes behind this controller: the server's domain map
+    /// plus the pending-notification buffer (the policy handle is shared
+    /// and accounted nowhere — an `Arc` to a stateless strategy).
+    pub fn accounted_bytes(&self) -> u64 {
+        self.server.accounted_bytes() + deflate_core::mem::vec_capacity_bytes(&self.notifications)
+    }
+
     /// Attempt to admit a new VM, deflating residents if needed (the
     /// three-step placement of §6: the cluster manager already chose this
     /// server; this method performs steps two and three).

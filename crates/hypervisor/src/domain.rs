@@ -457,6 +457,14 @@ impl Domain {
         }
     }
 
+    /// Owned heap bytes behind this domain (the bounded CPU-utilisation
+    /// history; guest and cgroup state are inline scalars). Excludes
+    /// `size_of::<Domain>()` itself, which the containing server's map
+    /// accounting covers — see `deflate_core::mem` for the convention.
+    pub fn accounted_bytes(&self) -> u64 {
+        deflate_core::mem::vec_capacity_bytes(&self.cpu_util_history)
+    }
+
     /// Performance overhead factor caused by *transparent* memory deflation
     /// below what the guest believes it owns.
     ///

@@ -79,6 +79,21 @@ impl SimServer {
         self.domains.get_mut(&id)
     }
 
+    /// Owned heap bytes behind this server: one map node per resident
+    /// domain plus each domain's own heap (see `deflate_core::mem` for
+    /// the convention). Feeds the engine's `mem.vm_records` gauge.
+    pub fn accounted_bytes(&self) -> u64 {
+        self.domains
+            .iter()
+            .map(|(id, d)| {
+                deflate_core::mem::map_entry_bytes(
+                    std::mem::size_of_val(id),
+                    std::mem::size_of::<Domain>(),
+                ) + d.accounted_bytes()
+            })
+            .sum()
+    }
+
     /// Sum of the *effective* (currently granted) allocations of all
     /// resident domains. This is what physically occupies the server and can
     /// never exceed `capacity`.

@@ -198,6 +198,19 @@ impl EventLog {
             EventWriter::File(_) => None,
         }
     }
+
+    /// Owned heap bytes behind the log: the buffered lines of a
+    /// memory-backed writer (file-backed logs stream through a fixed-size
+    /// `BufWriter` and hold no growing buffer).
+    pub(crate) fn accounted_bytes(&self) -> u64 {
+        match &self.writer {
+            EventWriter::Memory(lines) => {
+                deflate_core::mem::vec_capacity_bytes(lines)
+                    + lines.iter().map(|l| l.capacity() as u64).sum::<u64>()
+            }
+            EventWriter::File(_) => 0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,14 +23,18 @@
 //! * [`sink`] — the [`TelemetrySink`] handle and RAII span guards.
 //! * [`events`] — JSONL event-log encoding and its deserializer.
 //! * [`chrome`] — Chrome `trace_event` export and trace validation.
-//! * [`runtime`] — the shared `engine:` footer ([`RuntimeTally`]) and
-//!   the graceful peak-RSS reader ([`peak_rss_mib`]).
+//! * [`runtime`] — the shared `engine:` footer ([`RuntimeTally`]), the
+//!   graceful peak-RSS reader ([`peak_rss_mib`]) and the live-RSS
+//!   sampler ([`rss_kib`]).
+//! * [`memory`] — the deterministic per-subsystem [`MemoryLedger`]
+//!   behind the `mem.*` gauges and `fig_memory`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod chrome;
 pub mod events;
+pub mod memory;
 pub mod profiler;
 pub mod registry;
 pub mod runtime;
@@ -39,7 +43,11 @@ pub mod sink;
 pub use chrome::{validate_chrome_trace, ChromeTraceStats};
 pub use deflate_core::telemetry::{TelemetryEventKind, TelemetryEventSet, TelemetrySpec};
 pub use events::{encode_event, parse_event_line, EventField, ParsedEvent};
+pub use memory::{map_entry_bytes, vec_bytes, vec_capacity_bytes, MemoryLedger};
 pub use profiler::{Phase, PhaseReport, PhaseRow, ShardRow};
 pub use registry::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use runtime::{peak_rss_mib, peak_rss_mib_from, secs, RuntimeTally};
+pub use runtime::{
+    append_process_footer_json, peak_rss_mib, peak_rss_mib_from, process_tally, reset_peak_rss,
+    rss_kib, rss_kib_from, secs, RuntimeTally,
+};
 pub use sink::{ShardSpanGuard, SpanGuard, TelemetryReport, TelemetrySink};

@@ -74,6 +74,12 @@ impl Histogram {
             .chain(std::iter::once((f64::INFINITY, self.overflow)))
             .collect()
     }
+
+    /// Owned heap bytes behind the histogram (bound and count buffers).
+    pub fn accounted_bytes(&self) -> u64 {
+        deflate_core::mem::vec_capacity_bytes(&self.bounds)
+            + deflate_core::mem::vec_capacity_bytes(&self.counts)
+    }
 }
 
 /// The registry itself. Cheap to create; normally owned by the
@@ -136,6 +142,33 @@ impl MetricsRegistry {
     /// The named histogram, if any sample has been recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Owned heap bytes behind the registry: every series' map entry,
+    /// name-string capacity and (for histograms) bucket buffers. Feeds the
+    /// sink's self-accounting `mem.telemetry` gauge.
+    pub fn accounted_bytes(&self) -> u64 {
+        use deflate_core::mem::map_entry_bytes;
+        use std::mem::size_of;
+        let string_heap = |s: &String| s.capacity() as u64;
+        self.counters
+            .keys()
+            .map(|k| map_entry_bytes(size_of::<String>(), size_of::<u64>()) + string_heap(k))
+            .sum::<u64>()
+            + self
+                .gauges
+                .keys()
+                .map(|k| map_entry_bytes(size_of::<String>(), size_of::<f64>()) + string_heap(k))
+                .sum::<u64>()
+            + self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    map_entry_bytes(size_of::<String>(), size_of::<Histogram>())
+                        + string_heap(k)
+                        + h.accounted_bytes()
+                })
+                .sum::<u64>()
     }
 
     /// Deterministic point-in-time snapshot: every family in

@@ -264,6 +264,27 @@ impl TelemetrySink {
         log.lines().map(|lines| lines.to_vec())
     }
 
+    /// Owned heap bytes behind the sink itself: the metrics registry and
+    /// any memory-backed event-log buffer. The observability layer's own
+    /// footprint, reported as `mem.telemetry` so the memory ledger keeps
+    /// the observer honest too. 0 when disabled. Measured *before* the
+    /// ledger publishes its `mem.*` gauges, so the figure excludes the
+    /// entries the publish itself adds.
+    pub fn accounted_bytes(&self) -> u64 {
+        let Some(inner) = self.inner.as_deref() else {
+            return 0;
+        };
+        let metrics = inner
+            .metrics
+            .as_ref()
+            .map_or(0, |m| m.lock().expect("metrics lock").accounted_bytes());
+        let events = inner
+            .events
+            .as_ref()
+            .map_or(0, |e| e.lock().expect("event log lock").accounted_bytes());
+        metrics + events
+    }
+
     /// Serialise the in-memory Chrome trace (`None` when that sink is
     /// off). Works for both file-backed and memory-only sinks.
     pub fn chrome_trace_json(&self) -> Option<String> {

@@ -52,6 +52,12 @@ impl TimeSeries {
         &self.samples
     }
 
+    /// Owned heap bytes behind the series (the sample buffer's capacity).
+    /// Feeds the engine's per-subsystem memory ledger.
+    pub fn accounted_bytes(&self) -> u64 {
+        deflate_core::mem::vec_capacity_bytes(&self.samples)
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()

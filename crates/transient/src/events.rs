@@ -341,6 +341,14 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Owned heap bytes behind the queue: the backing buffer's allocated
+    /// capacity × entry size. Deterministic — heap growth is a pure
+    /// function of the push/pop sequence — and fed into the engine's
+    /// `mem.event_queue` gauge (see `deflate-telemetry`'s `MemoryLedger`).
+    pub fn accounted_bytes(&self) -> u64 {
+        (self.heap.capacity() * std::mem::size_of::<Scheduled>()) as u64
+    }
 }
 
 #[cfg(test)]

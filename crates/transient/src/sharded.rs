@@ -279,6 +279,14 @@ impl ShardedEventQueue {
         self.shards.iter().map(|s| s.len()).collect()
     }
 
+    /// Owned heap bytes across every shard's backing buffer (see
+    /// [`EventQueue::accounted_bytes`]) plus the shard spine itself —
+    /// the `mem.event_queue` contribution of the whole engine clock.
+    pub fn accounted_bytes(&self) -> u64 {
+        deflate_telemetry::vec_capacity_bytes(&self.shards)
+            + self.shards.iter().map(|s| s.accounted_bytes()).sum::<u64>()
+    }
+
     /// Every pending event across all shards, in the queue's global pop
     /// order. Because the order is total and routing never affects it,
     /// the result — and therefore the checkpoint bytes derived from it —

@@ -226,6 +226,33 @@ fn telemetry_enabled_runs_are_bit_identical_across_shards() {
     }
 }
 
+/// Parity holds with the online invariant auditor on: every checker
+/// enabled at shards {2, 4} still reproduces the sequential auditor-off
+/// run bit for bit. The auditor runs on the coordinator after each
+/// event, so this is the test that would catch a checker perturbing the
+/// sharded engine's merge order — or an invariant that only holds
+/// sequentially.
+#[test]
+fn audited_runs_are_bit_identical_across_shards() {
+    use deflate_bench::scale_exp::{run_scale_cell, run_scale_cell_audited, scale_workload};
+    use vmdeflate::core::audit::AuditSpec;
+    let scale = Scale::Quick;
+    let workload = scale_workload(scale, 400);
+    let (baseline, _) = run_scale_cell(&workload, scale, ShardConfig::sequential());
+    for shards in [2, 4] {
+        let (observed, _) = run_scale_cell_audited(
+            &workload,
+            scale,
+            ShardConfig::with_shards(shards),
+            AuditSpec::all(),
+        );
+        assert_eq!(
+            baseline, observed,
+            "auditor-enabled run diverged at {shards} shards"
+        );
+    }
+}
+
 /// The parallel placement-ranking fan-out is a pure performance knob:
 /// running the `fig_transient` rows under a parallel [`PlacementEngine`]
 /// × shard counts {2, 4} reproduces the sequential-default run **bit for

@@ -12,8 +12,11 @@
 //!   parseable JSON array with matched begin/end span pairs.
 
 use deflate_bench::scale::Scale;
-use deflate_bench::scale_exp::{run_scale_cell, run_scale_cell_with_telemetry, scale_workload};
+use deflate_bench::scale_exp::{
+    run_scale_cell, run_scale_cell_audited, run_scale_cell_with_telemetry, scale_workload,
+};
 use vmdeflate::cluster::spec::WorkloadVm;
+use vmdeflate::core::audit::AuditSpec;
 use vmdeflate::core::shard::ShardConfig;
 use vmdeflate::telemetry::{
     parse_event_line, validate_chrome_trace, TelemetryEventSet, TelemetrySink, TelemetrySpec,
@@ -59,6 +62,43 @@ fn every_sink_enabled_leaves_the_result_bit_identical() {
     assert!(report.event_lines > 0, "event log collected nothing");
     assert!(report.chrome_events > 0, "chrome trace collected nothing");
     assert_eq!(report.io_errors, 0);
+}
+
+/// The auditor analogue of the telemetry contract: every invariant
+/// checker on (including the sampled placement rescan) both *passes* —
+/// the engine upholds its invariants on the quick spot-market scenario,
+/// a violation panics the run — and leaves the `SimResult` bit-identical
+/// to the unaudited baseline, because checkers are strictly read-only.
+#[test]
+fn every_audit_checker_enabled_leaves_the_result_bit_identical() {
+    let workload = workload();
+    let (baseline, _) = run_scale_cell(&workload, Scale::Quick, ShardConfig::sequential());
+    assert!(
+        baseline.transient.reclaim_events > 0,
+        "contract would be vacuous without reclamation activity"
+    );
+    for (name, spec) in [
+        ("all checkers", AuditSpec::all()),
+        (
+            "all checkers, dense placement rescan",
+            AuditSpec::all().with_placement_sample_every(1),
+        ),
+    ] {
+        let (audited, _) =
+            run_scale_cell_audited(&workload, Scale::Quick, ShardConfig::sequential(), spec);
+        assert_eq!(
+            baseline, audited,
+            "auditor-on run ({name}) diverged from auditor-off"
+        );
+    }
+}
+
+/// The auditor is opt-in: the default spec has no checkers.
+#[test]
+fn audit_is_off_by_default() {
+    assert!(AuditSpec::default().is_off());
+    assert!(AuditSpec::off().is_off());
+    assert!(!AuditSpec::all().is_off());
 }
 
 #[test]
